@@ -1,0 +1,42 @@
+"""Extension bench: design-choice ablations."""
+
+from repro.experiments.ext_ablations import (
+    calibration_ablation,
+    divider_ablation,
+    enable_time_ablation,
+    inverter_cell_ablation,
+)
+
+
+def test_divider_ablation(benchmark, record_experiment):
+    result = benchmark(divider_ablation)
+    record_experiment(result, "ext_ablation_divider")
+    divided, direct = result.rows
+    assert divided["monotonic"] and not direct["monotonic"]
+    assert divided["rel_sens_per_v"] > 3 * direct["rel_sens_per_v"]
+    assert direct["enabled_current_ua"] > divided["enabled_current_ua"]
+
+
+def test_calibration_ablation(benchmark, record_experiment):
+    result = benchmark(calibration_ablation)
+    record_experiment(result, "ext_ablation_calibration")
+    rows = {r["strategy"]: r for r in result.rows}
+    assert rows["piecewise-linear"]["max_error_mv"] < rows["piecewise-constant"]["max_error_mv"]
+    assert rows["polynomial (deg 3)"]["nvm_bytes"] < rows["piecewise-linear"]["nvm_bytes"]
+    assert rows["polynomial (deg 3)"]["lookup_ops"] > rows["piecewise-linear"]["lookup_ops"]
+
+
+def test_enable_time_ablation(benchmark, record_experiment):
+    result = benchmark(enable_time_ablation)
+    record_experiment(result, "ext_ablation_enable_time")
+    quant = [r["quantization_mv"] for r in result.rows]
+    temp = [r["temperature_mv"] for r in result.rows]
+    assert quant == sorted(quant, reverse=True)      # falls with T_en
+    assert max(temp) - min(temp) < 0.1               # thermal floor fixed
+
+
+def test_inverter_cell_ablation(benchmark, record_experiment):
+    result = benchmark(inverter_cell_ablation)
+    record_experiment(result, "ext_ablation_inverter_cell")
+    for row in result.rows:
+        assert row["simple_per_v"] > 5 * row["starved_per_v"]

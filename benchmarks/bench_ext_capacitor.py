@@ -1,0 +1,15 @@
+"""Extension bench: capacitor/platform sizing study (Section V-D.d)."""
+
+from repro.experiments import ext_capacitor
+
+
+def test_ext_capacitor(benchmark, record_experiment):
+    result = benchmark(ext_capacitor.run)
+    record_experiment(result, "ext_capacitor")
+    mote = [r for r in result.rows if r["platform"].startswith("mote")]
+    satellite = [r for r in result.rows if r["platform"].startswith("satellite")]
+    # Mote: HP at small C, LP at large C (a crossover exists).
+    assert mote[0]["winner"] == "HP"
+    assert mote[-1]["winner"] == "LP"
+    # Satellite: resolution rules everywhere.
+    assert all(r["winner"] == "HP" for r in satellite)

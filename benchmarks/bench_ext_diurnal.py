@@ -1,0 +1,14 @@
+"""Extension bench: 24 h diurnal study (fast semi-analytic engine)."""
+
+from repro.experiments import ext_diurnal
+
+
+def test_ext_diurnal(benchmark, record_experiment):
+    result = benchmark.pedantic(ext_diurnal.run, rounds=1, iterations=1)
+    record_experiment(result, "ext_diurnal")
+    rows = {r["monitor"]: r for r in result.rows}
+    # Abundant energy collapses the monitor penalty...
+    assert rows["ADC"]["normalized"] > 0.95
+    # ...but the ADC still thrashes through far more checkpoint cycles
+    # at the light margins.
+    assert rows["ADC"]["checkpoints"] > 3 * rows["Ideal"]["checkpoints"]

@@ -1,0 +1,10 @@
+"""Extension bench: per-chip enrollment across a population."""
+
+from repro.experiments import ext_enrollment
+
+
+def test_ext_enrollment(benchmark, record_experiment):
+    result = benchmark.pedantic(ext_enrollment.run, rounds=1, iterations=1)
+    record_experiment(result, "ext_enrollment")
+    nominal, enrolled = result.rows
+    assert enrolled["max_mv"] < 0.2 * nominal["max_mv"]

@@ -1,0 +1,14 @@
+"""Extension bench: the paper's future-work interconnect mitigation."""
+
+from repro.experiments import ext_interconnect
+
+
+def test_ext_interconnect(benchmark, record_experiment):
+    result = benchmark(ext_interconnect.run)
+    record_experiment(result, "ext_interconnect")
+    base, *_rest, half = result.rows
+    # Frequency deviation falls substantially with wire share...
+    assert half["temp_deviation_pct"] < 0.7 * base["temp_deviation_pct"]
+    # ...but the voltage-referred error barely moves (the honest finding).
+    ratio = half["temp_voltage_error_mv"] / base["temp_voltage_error_mv"]
+    assert 0.85 < ratio < 1.1

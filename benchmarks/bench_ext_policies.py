@@ -1,0 +1,14 @@
+"""Extension bench: checkpoint-policy comparison (Section II-C)."""
+
+from repro.experiments import ext_policies
+
+
+def test_ext_policies(benchmark, record_experiment):
+    result = benchmark.pedantic(ext_policies.run, rounds=1, iterations=1)
+    record_experiment(result, "ext_policies")
+    rows = {r["policy"]: r for r in result.rows}
+    assert all(r["completed"] for r in result.rows)
+    # FS-driven policies lose no work; blind ones re-execute.
+    assert rows["just-in-time (FS)"]["power_failures"] == 0
+    assert rows["timer + FS"]["power_failures"] == 0
+    assert rows["continuous"]["checkpoints"] > 2 * rows["just-in-time (FS)"]["checkpoints"]

@@ -1,0 +1,11 @@
+"""Extension bench: energy-aware task scheduling (Dewdrop/HarvOS)."""
+
+from repro.experiments import ext_scheduler
+
+
+def test_ext_scheduler(benchmark, record_experiment):
+    result = benchmark.pedantic(ext_scheduler.run, rounds=1, iterations=1)
+    record_experiment(result, "ext_scheduler")
+    rows = {r["scheduler"]: r for r in result.rows}
+    assert rows["energy-aware"]["tasks_killed"] == 0
+    assert rows["energy-aware"]["tasks_completed"] > 2 * rows["blind"]["tasks_completed"]

@@ -1,0 +1,13 @@
+"""Regenerate Figure 1: RO frequency vs supply voltage."""
+
+from repro.experiments import fig1
+
+
+def test_fig1(benchmark, record_experiment):
+    result = benchmark(fig1.run)
+    record_experiment(result, "fig1")
+    # Shape check: the 90nm 21-stage series rises then declines.
+    series = [r["90nm_n21_mhz"] for r in result.rows]
+    peak = max(series)
+    assert series[-1] < peak
+    assert series.index(peak) > 5

@@ -1,0 +1,10 @@
+"""Regenerate Figure 3: frequency-voltage sensitivity."""
+
+from repro.experiments import fig3
+
+
+def test_fig3(benchmark, record_experiment):
+    result = benchmark(fig3.run)
+    record_experiment(result, "fig3")
+    mid = [r for r in result.rows if abs(r["v_supply"] - 1.0) < 0.01][0]
+    assert mid["90nm_n7"] > mid["90nm_n41"]

@@ -1,0 +1,10 @@
+"""Regenerate Figure 4: interpolation error vs NVM overhead."""
+
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark, record_experiment):
+    result = benchmark(fig4.run)
+    record_experiment(result, "fig4")
+    for row in result.rows:
+        assert row["linear_bound_mv"] < row["const_bound_mv"]

@@ -1,0 +1,16 @@
+"""Regenerate Figure 5: the Pareto objective space in 90nm.
+
+The heavy sweep runs once (pedantic single-round timing): ~24k grid
+evaluations plus an NSGA-II pass.
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, record_experiment):
+    result = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    record_experiment(result, "fig5")
+    grans = result.column("granularity_mv")
+    currents = result.column("mean_current_ua")
+    assert max(grans) <= 50
+    assert max(currents) <= 5.0

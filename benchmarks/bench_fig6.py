@@ -1,0 +1,10 @@
+"""Regenerate Figure 6: per-node Pareto fronts at Fs = 5 kHz."""
+
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, record_experiment):
+    result = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+    record_experiment(result, "fig6")
+    bits = result.column("resolution_bits")
+    assert max(bits) > 5.5  # paper: 5-6 bits

@@ -1,0 +1,12 @@
+"""Regenerate Figure 7: RO frequency variation with temperature."""
+
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, record_experiment):
+    result = benchmark(fig7.run)
+    record_experiment(result, "fig7")
+    for row in result.rows:
+        for key, value in row.items():
+            if key.endswith("_pct"):
+                assert abs(value) < 1.5  # paper: ~1% max

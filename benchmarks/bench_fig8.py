@@ -1,0 +1,17 @@
+"""Regenerate Figure 8: application time normalized to ideal monitoring.
+
+Replays the NYC night trace through the intermittent simulator once per
+monitor (5 x 300 s at 1 ms steps) — the paper's headline system result.
+"""
+
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, record_experiment):
+    result = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    record_experiment(result, "fig8")
+    rows = {r["monitor"]: r for r in result.rows}
+    assert rows["ADC"]["normalized"] < 0.4           # paper: ~0.30
+    assert rows["Comparator"]["normalized"] < 0.9    # paper: ~0.76
+    assert rows["FS (LP)"]["normalized"] > 0.97      # near-ideal
+    assert rows["FS (HP)"]["normalized"] > 0.95

@@ -1,0 +1,10 @@
+"""Regenerate Table I: core vs ADC/comparator current."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, record_experiment):
+    result = benchmark(table1.run)
+    record_experiment(result, "table1")
+    rows = {r["platform"]: r for r in result.rows}
+    assert rows["MSP430FR5969"]["adc_ua"] == 265

@@ -1,0 +1,10 @@
+"""Regenerate Table II: SoC integration overheads."""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, record_experiment):
+    result = benchmark(table2.run)
+    record_experiment(result, "table2")
+    base, fs = result.rows
+    assert fs["area_overhead_pct"] < 0.1

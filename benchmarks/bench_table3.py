@@ -1,0 +1,9 @@
+"""Regenerate Table III: design/performance parameter bounds."""
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, record_experiment):
+    result = benchmark(table3.run)
+    record_experiment(result, "table3")
+    assert len(result.rows) == 11

@@ -1,0 +1,13 @@
+"""Regenerate Table IV: voltage monitors within the full system."""
+
+import pytest
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, record_experiment):
+    result = benchmark(table4.run)
+    record_experiment(result, "table4")
+    rows = {r["monitor"]: r for r in result.rows}
+    for name, row in rows.items():
+        assert row["v_ckpt"] == pytest.approx(row["paper_v_ckpt"], abs=0.02), name

@@ -1,0 +1,34 @@
+"""Benchmark harness plumbing.
+
+Each ``bench_*.py`` regenerates one of the paper's tables/figures under
+pytest-benchmark timing and writes the rendered rows to
+``benchmarks/results/<experiment>.txt`` so the artifacts survive the
+run (EXPERIMENTS.md links to them).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_experiment(results_dir):
+    """Save an ExperimentResult's rendering next to the benchmarks."""
+
+    def _record(result, name: str = ""):
+        stem = name or result.experiment_id.lower().replace(" ", "")
+        path = results_dir / f"{stem}.txt"
+        path.write_text(result.render() + "\n", encoding="utf-8")
+        return result
+
+    return _record

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: build, enroll, and use a Failure Sentinels monitor.
+
+Walks the lifecycle from the paper's Figure 2: configure the hardware
+(ring + divider + counter), run factory enrollment, then watch a
+discharging supply and catch the checkpoint threshold — all in a few
+lines of the public API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FailureSentinels, FSConfig, TECH_90NM
+from repro.units import kilo, micro, to_milli, to_micro
+
+
+def main() -> None:
+    # 1. Configure the monitor: a 7-stage ring behind a 1/3 divider,
+    #    8-bit counter, 2 us enable windows at 5 kHz.
+    config = FSConfig(
+        tech=TECH_90NM,
+        ro_length=7,
+        counter_bits=8,
+        t_enable=micro(2),
+        f_sample=kilo(5),
+        nvm_entries=49,
+        entry_bits=8,
+    )
+    fs = FailureSentinels(config)
+    print(f"monitor: {config.label()}")
+    print(f"  duty cycle       : {100 * config.duty_cycle:.2f}%")
+    print(f"  transistors      : {fs.transistor_count()}")
+    print(f"  mean current     : {to_micro(fs.mean_current(3.0)):.3f} uA @ 3.0 V")
+
+    # 2. Factory enrollment: characterize THIS chip's count-to-voltage
+    #    curve and store a piecewise-linear table in NVM.
+    table = fs.enroll(strategy="linear")
+    print(f"  enrollment       : {len(table)} points, {table.nvm_bytes():.0f} B NVM")
+
+    budget = fs.error_budget()
+    print("  error budget (mV):", {k: round(v * 1e3, 1) for k, v in budget.breakdown().items()})
+
+    # 3. Use it: sample a few supply voltages and read them back.
+    print("\nsupply sweep:")
+    for v_supply in (1.9, 2.2, 2.6, 3.0, 3.4):
+        count = fs.sample(v_supply)
+        reading = fs.read_voltage(count)
+        print(f"  V={v_supply:.2f} V -> count={count:3d} -> software reads {reading:.3f} V")
+
+    # 4. Arm the just-in-time checkpoint interrupt and watch a
+    #    discharging capacitor cross it.
+    v_threshold = 1.90
+    fs.set_threshold(v_threshold)
+    print(f"\narmed checkpoint threshold at {v_threshold} V "
+          f"(count <= {fs.threshold_count})")
+
+    v = 2.10
+    step = 0.02
+    while not fs.interrupt_pending:
+        fs.sample(v)
+        v -= step
+    print(f"interrupt fired with supply at {v + step:.2f} V -> "
+          f"time to checkpoint! (threshold margin: "
+          f"{to_milli(fs.resolution_volts()):.1f} mV worst case)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Temperature and the divided operating point: a reproduction finding.
+
+The paper bounds thermal error at 2% of frequency, measured on FPGA
+rings at the full core voltage. Failure Sentinels' ring runs *divided*
+(V_ro ~ 0.6-1.2 V), where transistor overdrive is small and temperature
+sensitivity is several-fold larger — so a monitor enrolled at 25 C
+drifts badly when deployed hot.
+
+This example shows the problem and the implemented fix: characterize
+the device at several chamber temperatures (`enroll_compensated`) and
+blend tables at run time using an on-die temperature estimate.
+
+Run:  python examples/temperature_compensation.py
+"""
+
+from repro import FailureSentinels, FSConfig, TECH_90NM
+from repro.units import celsius_to_kelvin
+
+
+def max_error(fs, temp_c, reader):
+    tk = celsius_to_kelvin(temp_c)
+    return max(
+        abs(reader(fs.count_at(v, temp_k=tk), temp_c) - v)
+        for v in (1.9, 2.4, 3.0, 3.4)
+    )
+
+
+def main() -> None:
+    fs = FailureSentinels(
+        FSConfig(tech=TECH_90NM, ro_length=7, counter_bits=10,
+                 t_enable=4e-6, f_sample=5e3)
+    )
+    single = fs.enroll()
+    compensated = fs.enroll_compensated(temperatures_c=(25.0, 50.0, 75.0))
+    budget = fs.error_budget()
+
+    print(f"monitor: {fs.config.label()}")
+    print(f"error budget total: {budget.total * 1e3:.1f} mV "
+          f"(thermal term budgets {budget.temperature * 1e3:.1f} mV at the "
+          "paper's 2% bound)")
+    print(f"single-point table: {single.nvm_bytes():.0f} B NVM; "
+          f"compensated: {compensated.nvm_bytes():.0f} B across "
+          f"{len(compensated.temperatures)} temperatures\n")
+
+    print(f"{'deploy temp':>12s} {'single-point err':>17s} {'compensated err':>16s}")
+    for temp_c in (25.0, 35.0, 45.0, 55.0, 65.0, 75.0):
+        plain = max_error(fs, temp_c, lambda c, _t: fs.read_voltage(c))
+        comp = max_error(fs, temp_c, fs.read_voltage_at)
+        flag = "  <- exceeds budget" if plain > budget.total else ""
+        print(f"{temp_c:10.0f} C {plain * 1e3:14.1f} mV {comp * 1e3:13.1f} mV{flag}")
+
+    print(
+        "\ntakeaway: at the divided operating point the paper's 2% thermal "
+        "bound is optimistic;\nmulti-temperature enrollment restores the "
+        "budgeted accuracy for 3x the NVM."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Failure Sentinels: low-cost, all-digital supply-voltage monitoring for
+intermittent computation — a full reproduction of the ISCA 2021 paper.
+
+Quick start::
+
+    from repro import FailureSentinels, FSConfig, TECH_90NM
+
+    fs = FailureSentinels(FSConfig(tech=TECH_90NM))
+    fs.enroll()
+    count = fs.sample(v_supply=2.4)
+    volts = fs.read_voltage(count)
+
+Subsystem tour:
+
+* :mod:`repro.core` — the monitor itself (ring oscillator + divider +
+  counter + enrollment);
+* :mod:`repro.tech` — PTM-inspired technology cards, temperature and
+  process-variation models;
+* :mod:`repro.spice` — a small nodal circuit simulator for device-level
+  validation;
+* :mod:`repro.analog` — analytic models of the analog blocks and of the
+  ADC/comparator incumbents;
+* :mod:`repro.dse` — the multi-objective design-space exploration
+  (NSGA-II + exhaustive grid);
+* :mod:`repro.harvest` — the energy-harvesting intermittent-system
+  simulator (Table IV / Figure 8);
+* :mod:`repro.riscv` — an RV32IM instruction-set simulator with the
+  paper's two custom instructions and a checkpointing runtime;
+* :mod:`repro.soc` — structural area/power overhead modelling (Table II);
+* :mod:`repro.experiments` — drivers regenerating every paper table and
+  figure.
+"""
+
+from repro.core import FailureSentinels, FSConfig
+from repro.tech import TECH_130NM, TECH_90NM, TECH_65NM, ALL_NODES, get_technology
+from repro.analog import RingOscillator, VoltageDivider, LevelShifter, SARADC, AnalogComparator
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FailureSentinels",
+    "FSConfig",
+    "TECH_130NM",
+    "TECH_90NM",
+    "TECH_65NM",
+    "ALL_NODES",
+    "get_technology",
+    "RingOscillator",
+    "VoltageDivider",
+    "LevelShifter",
+    "SARADC",
+    "AnalogComparator",
+    "ReproError",
+    "__version__",
+]

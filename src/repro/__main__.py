@@ -1,0 +1,78 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``info`` (default) — library overview and subsystem inventory;
+* ``experiments [names...]`` — regenerate paper tables/figures
+  (delegates to :mod:`repro.experiments.runner`);
+* ``monitor [--tech N] [--voltage V]`` — build the default monitor and
+  print a one-shot reading with its error budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+
+
+def cmd_info(_args) -> None:
+    from repro.experiments.runner import EXPERIMENTS
+
+    print(f"repro {__version__} — Failure Sentinels (ISCA 2021) reproduction")
+    print(__doc__.split("Subcommands:")[0].strip())
+    print("\nsubsystems:")
+    for name, what in [
+        ("repro.tech", "PTM-inspired technology cards, temperature, variation"),
+        ("repro.spice", "nodal circuit simulator (DC Newton + transient)"),
+        ("repro.analog", "ring oscillator, divider, level shifter, ADC/comparator"),
+        ("repro.core", "the Failure Sentinels monitor"),
+        ("repro.dse", "design-space exploration (NSGA-II + grid)"),
+        ("repro.harvest", "energy-harvesting intermittent-system simulator"),
+        ("repro.riscv", "RV32IM ISS with the two FS instructions"),
+        ("repro.runtimes", "checkpoint policies + energy-aware scheduling"),
+        ("repro.soc", "structural area/power overheads"),
+    ]:
+        print(f"  {name:<16s} {what}")
+    print(f"\nexperiments ({len(EXPERIMENTS)}): {', '.join(EXPERIMENTS)}")
+    print("run them with: python -m repro experiments [names...]")
+
+
+def cmd_experiments(args) -> None:
+    from repro.experiments.runner import run_all
+
+    run_all(args.names or None)
+
+
+def cmd_monitor(args) -> None:
+    from repro.core import FailureSentinels, FSConfig
+    from repro.tech import get_technology
+
+    config = FSConfig(tech=get_technology(args.tech))
+    fs = FailureSentinels(config)
+    fs.enroll()
+    count = fs.sample(args.voltage)
+    print(f"{config.label()}")
+    print(f"  supply {args.voltage:.3f} V -> count {count} -> reads {fs.read_voltage(count):.3f} V")
+    print(f"  mean current @ {args.voltage} V: {fs.mean_current(args.voltage) * 1e6:.3f} uA")
+    print("  error budget (mV):", {k: round(v * 1e3, 1) for k, v in fs.error_budget().breakdown().items()})
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("info", help="library overview")
+    exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    exp.add_argument("names", nargs="*", help="experiment ids (default: all)")
+    mon = sub.add_parser("monitor", help="one-shot monitor demo")
+    mon.add_argument("--tech", default="90nm", choices=["130nm", "90nm", "65nm"])
+    mon.add_argument("--voltage", type=float, default=2.7)
+
+    args = parser.parse_args(argv)
+    command = args.command or "info"
+    {"info": cmd_info, "experiments": cmd_experiments, "monitor": cmd_monitor}[command](args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Analog building blocks of Failure Sentinels and its competitors.
+
+Analytic models (fast, used by the design-space exploration and the
+system simulator) with SPICE builders (slow, used to validate the
+analytic models at device level):
+
+* :mod:`repro.analog.inverter` — single-stage gate delay and energy;
+* :mod:`repro.analog.ring_oscillator` — the self-oscillating loop;
+* :mod:`repro.analog.divider` — the diode-connected PMOS voltage divider;
+* :mod:`repro.analog.level_shifter` — low-voltage to core-voltage
+  interfacing;
+* :mod:`repro.analog.adc` / :mod:`repro.analog.comparator` — the analog
+  alternatives Failure Sentinels replaces (Table I).
+"""
+
+from repro.analog.inverter import Inverter, CurrentStarvedInverter
+from repro.analog.ring_oscillator import RingOscillator, build_ro_circuit
+from repro.analog.divider import VoltageDivider, build_divider_circuit
+from repro.analog.level_shifter import LevelShifter
+from repro.analog.adc import SARADC
+from repro.analog.comparator import AnalogComparator
+
+__all__ = [
+    "Inverter",
+    "CurrentStarvedInverter",
+    "RingOscillator",
+    "build_ro_circuit",
+    "VoltageDivider",
+    "build_divider_circuit",
+    "LevelShifter",
+    "SARADC",
+    "AnalogComparator",
+]

@@ -1,0 +1,60 @@
+"""Analog comparator model: the single-bit alternative (Section II-B).
+
+Recent just-in-time checkpointing systems (Hibernus, QuickRecall) replace
+the ADC with an analog comparator plus reference: cheaper than an ADC but
+still burning tens of microamps in the reference generator, and limited
+to a single programmable threshold rather than a poll-able value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import micro, nano, milli
+
+
+@dataclass(frozen=True)
+class AnalogComparator:
+    """Continuous-time comparator with a resistor-ladder threshold.
+
+    Defaults follow the MSP430FR5969 comparator row of the paper's
+    Tables I/IV: 35 uA total (comparator + reference ladder), a 30 mV
+    effective threshold resolution (ladder step), and a 330 ns response
+    time, which the paper converts to an effective 3030 Hz-class "sample
+    rate" for comparison purposes.
+    """
+
+    supply_current: float = micro(35)
+    threshold_resolution: float = milli(30)
+    response_time: float = nano(330)
+    min_supply_voltage: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.supply_current < 0:
+            raise ConfigurationError("comparator current must be non-negative")
+        if self.threshold_resolution <= 0 or self.response_time <= 0:
+            raise ConfigurationError("resolution and response time must be positive")
+
+    def effective_sample_rate(self) -> float:
+        """1 / response time: the fastest it can signal a crossing (Hz)."""
+        return 1.0 / self.response_time
+
+    def quantize_threshold(self, requested: float) -> float:
+        """Nearest achievable threshold at or above ``requested``.
+
+        The ladder only realizes discrete steps; rounding *up* keeps the
+        checkpoint guarantee conservative.
+        """
+        if requested <= 0:
+            raise ConfigurationError("threshold must be positive")
+        steps = int(-(-requested // self.threshold_resolution))  # ceil
+        return steps * self.threshold_resolution
+
+    def compare(self, voltage: float, threshold: float) -> bool:
+        """True when ``voltage`` is at or below ``threshold`` (the
+        checkpoint-now signal)."""
+        return voltage <= threshold
+
+    def resolution_volts(self) -> float:
+        return self.threshold_resolution

@@ -1,0 +1,51 @@
+"""Failure Sentinels: the paper's primary contribution.
+
+A :class:`~repro.core.monitor.FailureSentinels` instance composes a ring
+oscillator, a voltage divider, a level shifter, an edge counter, and an
+enrollment table into a software-queriable supply-voltage monitor:
+
+>>> from repro.core import FailureSentinels, FSConfig
+>>> from repro.tech import TECH_90NM
+>>> fs = FailureSentinels(FSConfig(tech=TECH_90NM, ro_length=7,
+...                                counter_bits=8, t_enable=2e-6,
+...                                f_sample=5e3))
+>>> fs.enroll()                       # factory calibration
+>>> count = fs.sample(v_supply=2.4)   # what the hardware counter reads
+>>> fs.read_voltage(count)            # what software concludes
+2.4...
+"""
+
+from repro.core.config import FSConfig
+from repro.core.counter import EdgeCounter
+from repro.core.calibration import (
+    EnrollmentPoint,
+    EnrollmentTable,
+    FullEnrollment,
+    PiecewiseConstant,
+    PiecewiseLinear,
+    PolynomialCalibration,
+    TemperatureCompensatedTable,
+    piecewise_constant_error_bound,
+    piecewise_linear_error_bound,
+)
+from repro.core.errors_model import ErrorBudget
+from repro.core.monitor import FailureSentinels
+from repro.core.sensitivity import supply_sensitivity, supply_relative_sensitivity
+
+__all__ = [
+    "FSConfig",
+    "EdgeCounter",
+    "EnrollmentPoint",
+    "EnrollmentTable",
+    "FullEnrollment",
+    "PiecewiseConstant",
+    "PiecewiseLinear",
+    "PolynomialCalibration",
+    "TemperatureCompensatedTable",
+    "piecewise_constant_error_bound",
+    "piecewise_linear_error_bound",
+    "ErrorBudget",
+    "FailureSentinels",
+    "supply_sensitivity",
+    "supply_relative_sensitivity",
+]

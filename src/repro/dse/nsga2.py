@@ -1,0 +1,182 @@
+"""NSGA-II, implemented from scratch (pymoo's role in the paper).
+
+Standard components: binary tournament on (rank, crowding), simulated
+binary crossover (SBX), polynomial mutation, elitist (mu + lambda)
+environmental selection by non-dominated fronts with crowding-distance
+truncation.  Infeasible designs (rejected by the performance model) are
+handled with constrained dominance: feasible always beats infeasible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dse.objectives import Evaluation, PerformanceModel
+from repro.dse.pareto import crowding_distance, non_dominated_sort
+from repro.dse.space import GENOME_SIZE
+from repro.errors import ConfigurationError
+
+Genome = Tuple[float, ...]
+
+
+@dataclass
+class NSGA2Result:
+    """Final population summary."""
+
+    evaluations: List[Evaluation]
+    genomes: List[Genome]
+    generations: int
+    evaluated_total: int
+
+    def pareto(self) -> List[Evaluation]:
+        """Feasible, non-dominated members of the final population."""
+        feasible = [e for e in self.evaluations if e.feasible]
+        if not feasible:
+            return []
+        objs = [e.objectives() for e in feasible]
+        fronts = non_dominated_sort(objs)
+        return [feasible[i] for i in fronts[0]]
+
+
+@dataclass
+class NSGA2:
+    """The optimizer.
+
+    Parameters follow common NSGA-II practice: SBX/polynomial-mutation
+    distribution indices of 15/20, crossover probability 0.9, mutation
+    probability 1/genome-length.
+    """
+
+    model: PerformanceModel
+    population_size: int = 60
+    generations: int = 40
+    crossover_probability: float = 0.9
+    mutation_probability: float = 1.0 / GENOME_SIZE
+    eta_crossover: float = 15.0
+    eta_mutation: float = 20.0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.population_size < 4 or self.population_size % 2:
+            raise ConfigurationError("population must be even and >= 4")
+        if self.generations < 1:
+            raise ConfigurationError("need at least one generation")
+
+    # ------------------------------------------------------------------
+    def run(self) -> NSGA2Result:
+        rng = random.Random(self.seed)
+        population = [self._random_genome(rng) for _ in range(self.population_size)]
+        evals = [self._evaluate(g) for g in population]
+        evaluated = len(population)
+
+        for _generation in range(self.generations):
+            ranks, crowding = self._rank(evals)
+            offspring: List[Genome] = []
+            while len(offspring) < self.population_size:
+                p1 = self._tournament(rng, ranks, crowding)
+                p2 = self._tournament(rng, ranks, crowding)
+                c1, c2 = self._crossover(rng, population[p1], population[p2])
+                offspring.append(self._mutate(rng, c1))
+                if len(offspring) < self.population_size:
+                    offspring.append(self._mutate(rng, c2))
+            off_evals = [self._evaluate(g) for g in offspring]
+            evaluated += len(offspring)
+            population, evals = self._environmental_selection(
+                population + offspring, evals + off_evals
+            )
+        return NSGA2Result(
+            evaluations=evals,
+            genomes=population,
+            generations=self.generations,
+            evaluated_total=evaluated,
+        )
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, genome: Genome) -> Evaluation:
+        point = self.model.space.decode(genome)
+        return self.model.evaluate(point)
+
+    def _random_genome(self, rng: random.Random) -> Genome:
+        return tuple(rng.random() for _ in range(GENOME_SIZE))
+
+    def _rank(self, evals: List[Evaluation]) -> Tuple[List[int], List[float]]:
+        """Constrained ranks + crowding for the whole population.
+
+        Feasible members get fronts 0..k; infeasible members all share a
+        rank below every feasible front (their crowding is random-ish via
+        index, which suffices — they exist only to be replaced).
+        """
+        feasible_idx = [i for i, e in enumerate(evals) if e.feasible]
+        infeasible_idx = [i for i, e in enumerate(evals) if not e.feasible]
+        ranks = [0] * len(evals)
+        crowd = [0.0] * len(evals)
+        if feasible_idx:
+            objs = [evals[i].objectives() for i in feasible_idx]
+            fronts = non_dominated_sort(objs)
+            worst_front = len(fronts)
+            for front_rank, front in enumerate(fronts):
+                dist = crowding_distance(objs, front)
+                for local in front:
+                    global_idx = feasible_idx[local]
+                    ranks[global_idx] = front_rank
+                    crowd[global_idx] = dist[local]
+        else:
+            worst_front = 0
+        for i in infeasible_idx:
+            ranks[i] = worst_front + 1
+            crowd[i] = 0.0
+        return ranks, crowd
+
+    def _tournament(self, rng: random.Random, ranks: List[int], crowd: List[float]) -> int:
+        a = rng.randrange(len(ranks))
+        b = rng.randrange(len(ranks))
+        if ranks[a] != ranks[b]:
+            return a if ranks[a] < ranks[b] else b
+        return a if crowd[a] >= crowd[b] else b
+
+    def _crossover(self, rng: random.Random, a: Genome, b: Genome) -> Tuple[Genome, Genome]:
+        if rng.random() > self.crossover_probability:
+            return a, b
+        c1, c2 = [], []
+        for x, y in zip(a, b):
+            if rng.random() < 0.5 and abs(x - y) > 1e-12:
+                u = rng.random()
+                if u <= 0.5:
+                    beta = (2 * u) ** (1.0 / (self.eta_crossover + 1))
+                else:
+                    beta = (1.0 / (2 * (1 - u))) ** (1.0 / (self.eta_crossover + 1))
+                child1 = 0.5 * ((1 + beta) * x + (1 - beta) * y)
+                child2 = 0.5 * ((1 - beta) * x + (1 + beta) * y)
+                c1.append(min(1.0, max(0.0, child1)))
+                c2.append(min(1.0, max(0.0, child2)))
+            else:
+                c1.append(x)
+                c2.append(y)
+        return tuple(c1), tuple(c2)
+
+    def _mutate(self, rng: random.Random, genome: Genome) -> Genome:
+        out = []
+        for x in genome:
+            if rng.random() < self.mutation_probability:
+                u = rng.random()
+                if u < 0.5:
+                    delta = (2 * u) ** (1.0 / (self.eta_mutation + 1)) - 1
+                else:
+                    delta = 1 - (2 * (1 - u)) ** (1.0 / (self.eta_mutation + 1))
+                out.append(min(1.0, max(0.0, x + delta)))
+            else:
+                out.append(x)
+        return tuple(out)
+
+    def _environmental_selection(
+        self, genomes: List[Genome], evals: List[Evaluation]
+    ) -> Tuple[List[Genome], List[Evaluation]]:
+        ranks, crowd = self._rank(evals)
+        order = sorted(
+            range(len(genomes)),
+            key=lambda i: (ranks[i], -crowd[i]),
+        )
+        chosen = order[: self.population_size]
+        return [genomes[i] for i in chosen], [evals[i] for i in chosen]

@@ -1,0 +1,250 @@
+"""The analytic performance model driving the exploration (Section V-A).
+
+The paper fits an analytical model to its SPICE sweeps and augments it
+with NVM-table accuracy effects, the 2% thermal error, and a rejection
+filter for unrealizable configurations.  :class:`PerformanceModel` is
+that model: it maps a :class:`~repro.dse.space.DesignPoint` to the five
+Table III performance parameters —
+
+    (mean current, sampling frequency, granularity, NVM bytes,
+     transistor count)
+
+— with heavy physics cached per (technology, ring length) so that tens
+of thousands of grid points evaluate in seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.analog.divider import VoltageDivider
+from repro.analog.level_shifter import LevelShifter
+from repro.analog.ring_oscillator import RingOscillator
+from repro.core.calibration import (
+    entry_precision_floor,
+    piecewise_linear_error_bound,
+    voltage_of_frequency_derivatives,
+)
+from repro.core.config import (
+    FSConfig,
+    MEAN_CURRENT_MAX,
+    GRANULARITY_MAX,
+    NVM_OVERHEAD_MAX_BYTES,
+    TRANSISTOR_COUNT_MAX,
+)
+from repro.core.errors_model import checkpoint_region
+from repro.core.monitor import (
+    _COUNTER_CAP_FACTOR,
+    _CONTROL_TRANSISTORS,
+    _TRANSISTORS_PER_COMPARATOR_BIT,
+    _TRANSISTORS_PER_COUNTER_BIT,
+)
+from repro.core.sensitivity import (
+    frequency_function,
+    monitor_frequency,
+    supply_relative_sensitivity,
+    supply_sensitivity,
+)
+from repro.dse.space import DesignPoint, DesignSpace
+from repro.errors import CalibrationError
+from repro.tech.ptm import TechnologyCard
+from repro.tech.temperature import DESIGN_THERMAL_ERROR_FRACTION
+from repro.units import ROOM_TEMP_K
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One design point's performance, or its rejection reason."""
+
+    point: DesignPoint
+    feasible: bool
+    mean_current: float = math.inf
+    f_sample: float = 0.0
+    granularity: float = math.inf
+    nvm_bytes: float = math.inf
+    transistor_count: int = 0
+    reject_reason: str = ""
+
+    def objectives(self) -> Tuple[float, float, float, float, float]:
+        """Minimization vector (sampling frequency negated)."""
+        return (
+            self.mean_current,
+            -self.f_sample,
+            self.granularity,
+            self.nvm_bytes,
+            float(self.transistor_count),
+        )
+
+
+@dataclass(frozen=True)
+class _RingPhysics:
+    """Cached per-(tech, ring length) quantities."""
+
+    slope_eval: float          # |df/dVsupply| at the checkpoint point (Hz/V)
+    rel_sens_eval: float       # |dlnf/dVsupply| there (1/V)
+    f_max: float               # peak frequency over the supply range (Hz)
+    f_lo: float                # frequency at the bottom of the range (Hz)
+    interp_curvature: float    # max |d2V/df2| over the range
+    f_span: float              # frequency span across the range (Hz)
+    enabled_current: float     # supply-averaged enabled current (A)
+    monotonic: bool
+
+
+class PerformanceModel:
+    """Evaluate design points for one technology/supply range."""
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        temp_k: float = ROOM_TEMP_K,
+        thermal_fraction: float = DESIGN_THERMAL_ERROR_FRACTION,
+    ):
+        self.space = space
+        self.tech: TechnologyCard = space.tech
+        self.temp_k = temp_k
+        self.thermal_fraction = thermal_fraction
+        self._physics: Dict[int, _RingPhysics] = {}
+
+    # ------------------------------------------------------------------
+    def _ring_physics(self, ro_length: int) -> _RingPhysics:
+        cached = self._physics.get(ro_length)
+        if cached is not None:
+            return cached
+
+        ro = RingOscillator(self.tech, ro_length)
+        divider = VoltageDivider(self.tech)
+        v_lo, v_hi = self.space.v_supply_range
+        region = checkpoint_region(self.space.v_supply_range)
+        v_eval = 0.5 * (region[0] + region[1])
+
+        slope = supply_sensitivity(ro, divider, v_eval, self.temp_k)
+        rel = supply_relative_sensitivity(ro, divider, v_eval, self.temp_k)
+
+        f_lo = monitor_frequency(ro, divider, v_lo, self.temp_k)
+        f_max = max(
+            monitor_frequency(ro, divider, v_lo + i * (v_hi - v_lo) / 8, self.temp_k)
+            for i in range(9)
+        )
+
+        freq_fn = frequency_function(ro, divider, self.temp_k)
+        monotonic = True
+        curvature = math.inf
+        span = 0.0
+        try:
+            f_min_m, f_max_m, _dv, curvature = voltage_of_frequency_derivatives(
+                freq_fn, v_lo, v_hi
+            )
+            span = f_max_m - f_min_m
+        except CalibrationError:
+            monotonic = False
+
+        # Enabled current: ring + divider + level shifter + per-edge
+        # counter charge, averaged over three supply points.
+        shifter = LevelShifter(self.tech)
+        total = 0.0
+        for v in (v_lo, 0.5 * (v_lo + v_hi), v_hi):
+            v_ro = divider.nominal_output(v)
+            f = ro.frequency(v_ro, self.temp_k)
+            c_bit = _COUNTER_CAP_FACTOR * self.tech.c_switch
+            total += (
+                ro.enabled_current(v_ro, self.temp_k)
+                + divider.bias_current(v, self.temp_k)
+                + shifter.dynamic_current(f, v)
+                + 2.0 * c_bit * v * f
+            )
+        physics = _RingPhysics(
+            slope_eval=slope,
+            rel_sens_eval=rel,
+            f_max=f_max,
+            f_lo=f_lo,
+            interp_curvature=curvature,
+            f_span=span,
+            enabled_current=total / 3.0,
+            monotonic=monotonic,
+        )
+        self._physics[ro_length] = physics
+        return physics
+
+    # ------------------------------------------------------------------
+    def evaluate(self, point: DesignPoint) -> Evaluation:
+        """Performance parameters for ``point``, or a rejection.
+
+        The rejection filter mirrors Section V-A: enable time must fit
+        the sample period, the counter must never overflow, the ring
+        must oscillate and stay monotonic over the range, the level
+        shifter must keep up, and the Table III performance bounds hold.
+        """
+        phys = self._ring_physics(point.ro_length)
+        reject = self._reject(point, phys)
+        if reject:
+            return Evaluation(point=point, feasible=False, reject_reason=reject)
+
+        quantization = 1.0 / (point.t_enable * phys.slope_eval)
+        temperature = self.thermal_fraction / phys.rel_sens_eval
+        h = phys.f_span / point.nvm_entries
+        interpolation = piecewise_linear_error_bound(phys.interp_curvature, h)
+        v_lo, v_hi = self.space.v_supply_range
+        entry = entry_precision_floor(v_lo, v_hi, point.entry_bits)
+        granularity = quantization + temperature + interpolation + entry
+
+        transistors = self._transistor_count(point)
+        duty = point.t_enable * point.f_sample
+        static = transistors * self.tech.leak_per_transistor
+        mean_current = duty * phys.enabled_current + (1.0 - duty) * static
+        nvm_bytes = point.nvm_entries * point.entry_bits / 8.0
+
+        if granularity > GRANULARITY_MAX:
+            return Evaluation(point=point, feasible=False, reject_reason="granularity above Table III bound")
+        if mean_current > MEAN_CURRENT_MAX:
+            return Evaluation(point=point, feasible=False, reject_reason="mean current above Table III bound")
+
+        return Evaluation(
+            point=point,
+            feasible=True,
+            mean_current=mean_current,
+            f_sample=point.f_sample,
+            granularity=granularity,
+            nvm_bytes=nvm_bytes,
+            transistor_count=transistors,
+        )
+
+    def _reject(self, point: DesignPoint, phys: _RingPhysics) -> str:
+        if point.t_enable * point.f_sample > 1.0:
+            return "duty cycle exceeds 1 (enable longer than sample period)"
+        if phys.f_lo <= 0:
+            return "ring does not oscillate at minimum supply"
+        if not phys.monotonic:
+            return "frequency-voltage map not monotonic over supply range"
+        max_count = int(phys.f_max * point.t_enable)
+        if max_count > (1 << point.counter_bits) - 1:
+            # Stable category string so grid sweeps can aggregate.
+            return "counter overflow over enable window"
+        v_lo, _v_hi = self.space.v_supply_range
+        shifter = LevelShifter(self.tech)
+        if not shifter.can_follow(phys.f_max, v_lo, self.temp_k):
+            return "level shifter cannot follow ring at minimum core voltage"
+        transistors = self._transistor_count(point)
+        if transistors > TRANSISTOR_COUNT_MAX:
+            return f"transistor count {transistors} above Table III bound"
+        if point.nvm_entries * point.entry_bits / 8.0 > NVM_OVERHEAD_MAX_BYTES:
+            return "NVM overhead above Table III bound"
+        return ""
+
+    def _transistor_count(self, point: DesignPoint) -> int:
+        ro = RingOscillator(self.tech, point.ro_length)
+        divider = VoltageDivider(self.tech)
+        shifter = LevelShifter(self.tech)
+        return (
+            ro.transistor_count()
+            + divider.transistor_count()
+            + 2 * shifter.transistor_count()
+            + point.counter_bits * _TRANSISTORS_PER_COUNTER_BIT
+            + point.counter_bits * _TRANSISTORS_PER_COMPARATOR_BIT
+            + _CONTROL_TRANSISTORS
+        )
+
+    # ------------------------------------------------------------------
+    def to_config(self, point: DesignPoint) -> FSConfig:
+        return self.space.to_config(point)

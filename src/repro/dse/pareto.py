@@ -1,0 +1,94 @@
+"""Pareto utilities: dominance, non-dominated sorting, crowding distance.
+
+All objective vectors are *minimization* tuples (the performance model
+negates sampling frequency).  The implementations follow Deb's NSGA-II
+paper: fast non-dominated sort in O(M N^2) and the standard boundary-
+infinite crowding distance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+Objectives = Tuple[float, ...]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and strictly
+    better somewhere (minimization)."""
+    if len(a) != len(b):
+        raise ConfigurationError("objective vectors differ in length")
+    better_somewhere = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            better_somewhere = True
+    return better_somewhere
+
+
+def non_dominated_sort(objectives: Sequence[Objectives]) -> List[List[int]]:
+    """Partition indices into fronts; front 0 is the Pareto set."""
+    n = len(objectives)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    fronts: List[List[int]] = [[]]
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(objectives[i], objectives[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(objectives[j], objectives[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+    for i in range(n):
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+
+    current = 0
+    while fronts[current]:
+        nxt: List[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    nxt.append(j)
+        current += 1
+        fronts.append(nxt)
+    fronts.pop()  # trailing empty front
+    return fronts
+
+
+def crowding_distance(objectives: Sequence[Objectives], front: Sequence[int]) -> dict:
+    """Crowding distance of each index in ``front`` (boundaries: inf)."""
+    distances = {i: 0.0 for i in front}
+    if len(front) <= 2:
+        return {i: math.inf for i in front}
+    n_obj = len(objectives[front[0]])
+    for m in range(n_obj):
+        ordered = sorted(front, key=lambda i: objectives[i][m])
+        lo = objectives[ordered[0]][m]
+        hi = objectives[ordered[-1]][m]
+        distances[ordered[0]] = math.inf
+        distances[ordered[-1]] = math.inf
+        span = hi - lo
+        if span <= 0:
+            continue
+        for k in range(1, len(ordered) - 1):
+            idx = ordered[k]
+            if math.isinf(distances[idx]):
+                continue
+            gap = objectives[ordered[k + 1]][m] - objectives[ordered[k - 1]][m]
+            distances[idx] += gap / span
+    return distances
+
+
+def pareto_front(objectives: Sequence[Objectives]) -> List[int]:
+    """Indices of the non-dominated subset (front 0)."""
+    if not objectives:
+        return []
+    return non_dominated_sort(objectives)[0]

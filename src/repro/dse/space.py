@@ -1,0 +1,138 @@
+"""The Failure Sentinels design space (Table III).
+
+A design point is six parameters: RO length, sampling frequency, counter
+width, enable time, NVM entry count and entry size.  NSGA-II works on a
+normalized real-valued genome in [0, 1]^6; :class:`DesignSpace` owns the
+mapping from genome to the discrete/log-scaled engineering values and on
+to a validated :class:`~repro.core.config.FSConfig`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.config import (
+    FSConfig,
+    DEFAULT_SUPPLY_RANGE,
+    RO_LENGTH_MIN,
+    RO_LENGTH_MAX,
+    F_SAMPLE_MIN,
+    F_SAMPLE_MAX,
+    COUNTER_BITS_MIN,
+    COUNTER_BITS_MAX,
+    T_ENABLE_MIN,
+    T_ENABLE_MAX,
+    NVM_ENTRIES_MIN,
+    NVM_ENTRIES_MAX,
+    ENTRY_BITS_MIN,
+    ENTRY_BITS_MAX,
+)
+from repro.errors import ConfigurationError
+from repro.tech.ptm import TechnologyCard
+
+#: Genome dimensionality: the six Table III design parameters.
+GENOME_SIZE = 6
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """Decoded engineering values for one genome."""
+
+    ro_length: int
+    f_sample: float
+    counter_bits: int
+    t_enable: float
+    nvm_entries: int
+    entry_bits: int
+
+    def as_tuple(self) -> Tuple:
+        return (
+            self.ro_length,
+            self.f_sample,
+            self.counter_bits,
+            self.t_enable,
+            self.nvm_entries,
+            self.entry_bits,
+        )
+
+
+class DesignSpace:
+    """Genome encode/decode for one technology and supply range."""
+
+    def __init__(
+        self,
+        tech: TechnologyCard,
+        v_supply_range: Tuple[float, float] = DEFAULT_SUPPLY_RANGE,
+    ):
+        self.tech = tech
+        self.v_supply_range = v_supply_range
+        # Odd ring lengths only.
+        self._lengths = list(range(RO_LENGTH_MIN, RO_LENGTH_MAX + 1, 2))
+
+    # ------------------------------------------------------------------
+    def decode(self, genome: Sequence[float]) -> DesignPoint:
+        """Map a [0,1]^6 genome onto engineering values.
+
+        Enable time decodes on a log scale (it spans three decades);
+        sampling frequency decodes linearly over 1-10 kHz; the discrete
+        parameters round to their grids.
+        """
+        if len(genome) != GENOME_SIZE:
+            raise ConfigurationError(f"genome must have {GENOME_SIZE} entries")
+        g = [min(1.0, max(0.0, float(x))) for x in genome]
+        length = self._lengths[min(int(g[0] * len(self._lengths)), len(self._lengths) - 1)]
+        f_sample = F_SAMPLE_MIN + g[1] * (F_SAMPLE_MAX - F_SAMPLE_MIN)
+        counter_bits = COUNTER_BITS_MIN + min(
+            int(g[2] * (COUNTER_BITS_MAX - COUNTER_BITS_MIN + 1)),
+            COUNTER_BITS_MAX - COUNTER_BITS_MIN,
+        )
+        log_lo, log_hi = math.log10(T_ENABLE_MIN), math.log10(T_ENABLE_MAX)
+        t_enable = 10 ** (log_lo + g[3] * (log_hi - log_lo))
+        nvm_entries = NVM_ENTRIES_MIN + min(
+            int(g[4] * (NVM_ENTRIES_MAX - NVM_ENTRIES_MIN + 1)),
+            NVM_ENTRIES_MAX - NVM_ENTRIES_MIN,
+        )
+        entry_bits = ENTRY_BITS_MIN + min(
+            int(g[5] * (ENTRY_BITS_MAX - ENTRY_BITS_MIN + 1)),
+            ENTRY_BITS_MAX - ENTRY_BITS_MIN,
+        )
+        return DesignPoint(length, f_sample, counter_bits, t_enable, nvm_entries, entry_bits)
+
+    def to_config(self, point: DesignPoint) -> FSConfig:
+        """Build the validated configuration for a decoded point."""
+        return FSConfig(
+            tech=self.tech,
+            ro_length=point.ro_length,
+            counter_bits=point.counter_bits,
+            t_enable=point.t_enable,
+            f_sample=point.f_sample,
+            nvm_entries=point.nvm_entries,
+            entry_bits=point.entry_bits,
+            v_supply_range=self.v_supply_range,
+        )
+
+    def config_from_genome(self, genome: Sequence[float]) -> FSConfig:
+        return self.to_config(self.decode(genome))
+
+    # ------------------------------------------------------------------
+    def grid_points(
+        self,
+        lengths: Sequence[int] = (3, 7, 13, 23, 37, 53, 73),
+        f_samples: Sequence[float] = (1e3, 2e3, 5e3, 1e4),
+        counter_bits: Sequence[int] = (4, 6, 8, 10, 12, 16),
+        t_enables: Sequence[float] = (1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4),
+        nvm_entries: Sequence[int] = (8, 16, 32, 64, 128),
+        entry_bits: Sequence[int] = (8, 10, 12, 16),
+    ) -> List[DesignPoint]:
+        """A deterministic factorial grid for exhaustive exploration."""
+        points = []
+        for n in lengths:
+            for fs in f_samples:
+                for cb in counter_bits:
+                    for te in t_enables:
+                        for ne in nvm_entries:
+                            for eb in entry_bits:
+                                points.append(DesignPoint(n, fs, cb, te, ne, eb))
+        return points

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro library.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch library failures without masking genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured outside its valid parameter range."""
+
+
+class ConvergenceError(ReproError):
+    """A numerical solve (DC operating point, transient step) failed."""
+
+
+class NetlistError(ReproError):
+    """A circuit netlist is malformed (unknown node, duplicate name, ...)."""
+
+
+class CalibrationError(ReproError):
+    """An enrollment table is unusable (empty, unsorted, out of range)."""
+
+
+class CounterOverflowError(ReproError):
+    """The edge counter saturated during an enable period."""
+
+
+class SimulationError(ReproError):
+    """The system-level intermittent simulation hit an invalid state."""
+
+
+class CPUError(ReproError):
+    """The RISC-V instruction-set simulator hit an invalid state."""
+
+
+class IllegalInstructionError(CPUError):
+    """Decode failed or an instruction is not implemented."""
+
+    def __init__(self, word: int, pc: int):
+        super().__init__(f"illegal instruction 0x{word:08x} at pc=0x{pc:08x}")
+        self.word = word
+        self.pc = pc
+
+
+class MemoryAccessError(CPUError):
+    """A load/store touched an unmapped or misaligned address."""
+
+    def __init__(self, address: int, reason: str = "unmapped"):
+        super().__init__(f"bad memory access at 0x{address:08x}: {reason}")
+        self.address = address
+        self.reason = reason
+
+
+class AssemblerError(ReproError):
+    """The miniature assembler rejected a source line."""
+
+    def __init__(self, message: str, line_number: int = 0, line: str = ""):
+        location = f" (line {line_number}: {line!r})" if line_number else ""
+        super().__init__(message + location)
+        self.line_number = line_number
+        self.line = line
+
+
+class PowerFailureError(SimulationError):
+    """Raised when the supply falls below the minimum operating voltage
+    before a checkpoint completed — i.e. lost program state."""

@@ -1,0 +1,12 @@
+"""Experiment drivers: one module per table and figure in the paper.
+
+Each module exposes ``run(...) -> ExperimentResult`` whose ``rows`` hold
+the regenerated series and whose ``render()`` prints a text table next
+to the paper's reported values.  The benchmark harness under
+``benchmarks/`` calls these; ``runner.run_all()`` regenerates the whole
+evaluation in one shot (see EXPERIMENTS.md).
+"""
+
+from repro.experiments.tables import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

@@ -1,0 +1,235 @@
+"""Extension: ablations of Failure Sentinels' design choices.
+
+Four studies isolating decisions the paper makes in Section III:
+
+* :func:`divider_ablation` — remove the voltage divider and connect the
+  ring straight to the supply.  Shows the three reasons the divider
+  exists: the raw curve is non-monotonic over the operating range
+  (breaking calibration), the ring sits in its least-sensitive region,
+  and it burns far more power.
+* :func:`inverter_cell_ablation` — the simple cell versus the
+  current-starved cell VCOs use (Section III-F.a): a supply sensor
+  wants maximum supply sensitivity, the exact property current
+  starving destroys.
+* :func:`calibration_ablation` — the four enrollment strategies of
+  Section III-H on the same device: measured worst-case error versus
+  NVM footprint versus per-lookup cost.
+* :func:`enable_time_ablation` — sweep the enable window and watch the
+  error budget: quantization shrinks as 1/T_en but the 2% thermal term
+  does not move, reproducing the paper's finding that "temperature
+  variations rather than current consumption set the limit on Failure
+  Sentinels's resolution".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analog import CurrentStarvedInverter, Inverter, RingOscillator, VoltageDivider
+from repro.core import FailureSentinels, FSConfig
+from repro.core.calibration import (
+    PiecewiseConstant,
+    PiecewiseLinear,
+    PolynomialCalibration,
+    enroll_points,
+    evenly_spaced_voltages,
+    measured_max_error,
+    voltage_of_frequency_derivatives,
+)
+from repro.core.errors_model import evaluate_error_budget
+from repro.core.sensitivity import frequency_function, monitor_frequency
+from repro.errors import CalibrationError
+from repro.experiments.tables import ExperimentResult
+from repro.tech import TECH_90NM
+from repro.units import micro
+
+
+def divider_ablation(ro_length: int = 7) -> ExperimentResult:
+    """With the 1/3 divider versus direct supply connection."""
+    tech = TECH_90NM
+    ro = RingOscillator(tech, ro_length)
+    divider = VoltageDivider(tech)
+    v_lo, v_hi = 1.8, 3.6
+    v_eval = 0.5 * (v_lo + v_lo + 0.25 * (v_hi - v_lo))
+
+    result = ExperimentResult(
+        experiment_id="Ext: divider ablation",
+        description=f"{ro_length}-stage ring, divided vs direct supply",
+        columns=["variant", "monotonic", "rel_sens_per_v", "enabled_current_ua", "f_max_mhz"],
+    )
+
+    def characterize(name, freq_fn, current_fn):
+        try:
+            voltage_of_frequency_derivatives(freq_fn, v_lo, v_hi)
+            monotonic = True
+        except CalibrationError:
+            monotonic = False
+        f_eval = freq_fn(v_eval)
+        dv = 1e-3
+        rel = abs(freq_fn(v_eval + dv) - freq_fn(v_eval - dv)) / (2 * dv) / f_eval
+        f_max = max(freq_fn(v_lo + i * (v_hi - v_lo) / 16) for i in range(17))
+        result.rows.append(
+            {
+                "variant": name,
+                "monotonic": monotonic,
+                "rel_sens_per_v": rel,
+                "enabled_current_ua": current_fn(v_eval) * 1e6,
+                "f_max_mhz": f_max / 1e6,
+            }
+        )
+
+    characterize(
+        "divided (1/3)",
+        frequency_function(ro, divider),
+        lambda v: ro.enabled_current(divider.nominal_output(v)) + divider.bias_current(v),
+    )
+    characterize(
+        "direct",
+        lambda v: ro.frequency(v),
+        lambda v: ro.enabled_current(v),
+    )
+
+    divided, direct = result.rows
+    result.notes.append(
+        "direct connection is non-monotonic over the supply range "
+        f"({not direct['monotonic']}), {direct['enabled_current_ua'] / divided['enabled_current_ua']:.1f}x "
+        "the enabled current, and "
+        f"{divided['rel_sens_per_v'] / direct['rel_sens_per_v']:.1f}x less relatively sensitive "
+        "— the three reasons Section III-F adds the divider"
+    )
+    return result
+
+
+def inverter_cell_ablation() -> ExperimentResult:
+    """Section III-F.a: the simple cell versus the current-starved cell.
+
+    Current-starved inverters are the standard choice for VCOs exactly
+    because the starving source isolates delay from supply noise; a
+    supply *sensor* wants the opposite, so Failure Sentinels uses the
+    simplest inverter available.
+    """
+    import math
+
+    tech = TECH_90NM
+    simple = Inverter(tech)
+    starved = CurrentStarvedInverter(tech)
+
+    result = ExperimentResult(
+        experiment_id="Ext: inverter cell ablation",
+        description="Simple vs current-starved cell, relative supply sensitivity",
+        columns=["v_supply", "simple_per_v", "starved_per_v", "ratio"],
+    )
+    for v in (0.7, 0.8, 0.9, 1.0, 1.1, 1.2):
+        dv = 1e-3
+        s_simple = abs(math.log(simple.delay(v - dv) / simple.delay(v + dv))) / (2 * dv)
+        s_starved = starved.relative_supply_sensitivity(v)
+        result.rows.append(
+            {
+                "v_supply": v,
+                "simple_per_v": s_simple,
+                "starved_per_v": s_starved,
+                "ratio": s_simple / s_starved if s_starved else float("inf"),
+            }
+        )
+    ratios = [r["ratio"] for r in result.rows]
+    result.notes.append(
+        f"the simple cell is {min(ratios):.0f}-{max(ratios):.0f}x more "
+        "supply-sensitive across the divided operating range; also 2 "
+        f"transistors vs ~{4} and no bias generator (Section III-F.a's "
+        "three reasons)"
+    )
+    return result
+
+
+def calibration_ablation(n_points: int = 32) -> ExperimentResult:
+    """Section III-H's strategy trade space, measured on one device."""
+    config = FSConfig(tech=TECH_90NM, ro_length=7, counter_bits=12,
+                      t_enable=micro(20), f_sample=1e3, nvm_entries=n_points)
+    fs = FailureSentinels(config)
+    v_lo, v_hi = config.v_supply_range
+    voltages = evenly_spaced_voltages(v_lo, v_hi, n_points)
+    points = enroll_points(fs.count_at, voltages)
+
+    strategies = [
+        ("piecewise-constant", PiecewiseConstant(points)),
+        ("piecewise-linear", PiecewiseLinear(points)),
+        ("polynomial (deg 2)", PolynomialCalibration(points, degree=2)),
+        ("polynomial (deg 3)", PolynomialCalibration(points, degree=3)),
+    ]
+
+    result = ExperimentResult(
+        experiment_id="Ext: calibration ablation",
+        description=f"Enrollment strategies, {n_points} characterization points",
+        columns=["strategy", "max_error_mv", "nvm_bytes", "lookup_ops"],
+    )
+    for name, table in strategies:
+        error = measured_max_error(table, fs.count_at, v_lo, v_hi)
+        result.rows.append(
+            {
+                "strategy": name,
+                "max_error_mv": 1e3 * error,
+                "nvm_bytes": table.nvm_bytes(),
+                "lookup_ops": table.lookup_cost_ops(),
+            }
+        )
+
+    by_name = {r["strategy"]: r for r in result.rows}
+    result.notes.append(
+        "linear beats constant at equal NVM "
+        f"({by_name['piecewise-linear']['max_error_mv']:.1f} vs "
+        f"{by_name['piecewise-constant']['max_error_mv']:.1f} mV) for "
+        f"{by_name['piecewise-linear']['lookup_ops']} vs "
+        f"{by_name['piecewise-constant']['lookup_ops']} ops per lookup; "
+        "polynomials shrink NVM to coefficients but cost float math "
+        "(Section III-H's exact ranking)"
+    )
+    return result
+
+
+def enable_time_ablation(
+    t_enables: Sequence[float] = (1e-6, 2e-6, 5e-6, 10e-6, 20e-6, 50e-6, 100e-6),
+) -> ExperimentResult:
+    """Error budget versus enable window: the thermal floor."""
+    result = ExperimentResult(
+        experiment_id="Ext: enable-time ablation",
+        description="Error budget terms vs enable window (90nm, 7-stage)",
+        columns=["t_enable_us", "quantization_mv", "temperature_mv", "total_mv", "mean_current_ua"],
+    )
+    for t_en in t_enables:
+        bits = 16  # wide counter so overflow never interferes
+        config = FSConfig(tech=TECH_90NM, ro_length=7, counter_bits=bits,
+                          t_enable=t_en, f_sample=1e3)
+        fs = FailureSentinels(config)
+        budget = evaluate_error_budget(config)
+        result.rows.append(
+            {
+                "t_enable_us": t_en * 1e6,
+                "quantization_mv": 1e3 * budget.quantization,
+                "temperature_mv": 1e3 * budget.temperature,
+                "total_mv": 1e3 * budget.total,
+                "mean_current_ua": 1e6 * fs.mean_current(3.0),
+            }
+        )
+
+    first, last = result.rows[0], result.rows[-1]
+    result.notes.append(
+        f"quantization falls {first['quantization_mv'] / last['quantization_mv']:.0f}x "
+        f"across the sweep while the thermal term stays at "
+        f"{last['temperature_mv']:.1f} mV: past ~10 us the extra current buys "
+        "almost no resolution — 'temperature variations rather than current "
+        "consumption set the limit' (Section V-A)"
+    )
+    return result
+
+
+def run() -> ExperimentResult:
+    """Aggregate the three ablations into one renderable result."""
+    combined = ExperimentResult(
+        experiment_id="Ext: ablations",
+        description="Divider, inverter-cell, calibration, enable-time ablations",
+    )
+    for sub in (divider_ablation(), inverter_cell_ablation(), calibration_ablation(), enable_time_ablation()):
+        combined.notes.append("")
+        combined.notes.append(sub.render())
+    combined.rows = [{"see": "notes (four sub-tables)"}]
+    return combined

@@ -1,0 +1,106 @@
+"""Extension: platform sizing study (Section V-D.d's discussion).
+
+The paper's discussion makes three predictions about how platform
+design shifts the monitor trade:
+
+1. *small capacitors need a higher sampling frequency* — the supply
+   discharges more per sample period, so a slow monitor must pad its
+   threshold by ``I * T_sample / C``;
+2. *low-draw motes favor the low-power corner* — the monitor's own
+   current is a meaningful share of the budget;
+3. *high-draw platforms (satellite-class) favor the high-resolution
+   corner* — the monitor's draw vanishes into the load, so the energy
+   its finer threshold recovers dominates.
+
+The study is analytic: for a constant-current platform the per-cycle
+application time is ``C (V_on - V_ckpt) / I_sys``, so the normalized
+runtime has the exact closed form::
+
+    normalized(m) = (V_on - V_ckpt_m) / (V_on - V_ckpt_ideal) * I_ideal / I_m
+
+Two platforms are swept over capacitor sizes: the paper's 1 MHz sensor
+mote and a 10 MHz satellite-class load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.tables import ExperimentResult
+from repro.harvest import (
+    IdealMonitor,
+    IntermittentSimulator,
+    MSP430FR5969,
+    fs_high_performance_monitor,
+    fs_low_power_monitor,
+)
+from repro.harvest.loads import MCULoad
+from repro.harvest.monitors import MonitorModel
+
+DEFAULT_SIZES = (4.7e-6, 10e-6, 22e-6, 47e-6, 100e-6, 220e-6, 470e-6)
+
+#: The paper's mote platform and a satellite-class high-draw platform.
+PLATFORMS: Dict[str, MCULoad] = {
+    "mote (1 MHz)": MSP430FR5969,
+    "satellite (10 MHz)": MSP430FR5969.with_clock(10e6),
+}
+
+
+def normalized_runtime(monitor: MonitorModel, capacitance: float, mcu: MCULoad) -> float:
+    """Per-cycle app time relative to the ideal monitor (closed form).
+
+    The FRAM checkpoint streams at the core clock, so a faster platform
+    checkpoints proportionally faster (8.192 ms at 1 MHz).
+    """
+    from repro.harvest.checkpoint import CheckpointModel
+
+    ckpt = CheckpointModel(checkpoint_time=8.192e-3 * 1e6 / mcu.clock_hz)
+    ideal = IntermittentSimulator(IdealMonitor(), capacitance=capacitance, mcu=mcu, checkpoint=ckpt)
+    sim = IntermittentSimulator(monitor, capacitance=capacitance, mcu=mcu, checkpoint=ckpt)
+    span = (ideal.v_on - sim.v_ckpt) / (ideal.v_on - ideal.v_ckpt)
+    current = ideal.system_current / sim.system_current
+    return span * current
+
+
+def run(sizes: Sequence[float] = DEFAULT_SIZES) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="Ext: capacitor sizing",
+        description="LP vs HP across capacitor sizes and platform draw",
+        columns=["platform", "capacitance_uf", "lp_normalized", "hp_normalized", "winner"],
+    )
+    winners: Dict[str, list] = {}
+    for platform_name, mcu in PLATFORMS.items():
+        for c in sizes:
+            lp = normalized_runtime(fs_low_power_monitor(), c, mcu)
+            hp = normalized_runtime(fs_high_performance_monitor(), c, mcu)
+            winner = "LP" if lp >= hp else "HP"
+            winners.setdefault(platform_name, []).append(winner)
+            result.rows.append(
+                {
+                    "platform": platform_name,
+                    "capacitance_uf": c * 1e6,
+                    "lp_normalized": lp,
+                    "hp_normalized": hp,
+                    "winner": winner,
+                }
+            )
+
+    mote = winners["mote (1 MHz)"]
+    satellite = winners["satellite (10 MHz)"]
+    if "HP" in mote and mote[-1] == "LP":
+        result.notes.append(
+            "mote: HP wins at small capacitors (its 10 kHz sampling cuts "
+            "the I*T_sample/C margin) and LP wins at large ones (its "
+            "lower draw dominates) — predictions 1 and 2"
+        )
+    if all(w == "HP" for w in satellite):
+        result.notes.append(
+            "satellite: HP wins at every size — against a 1.1 mA core the "
+            "monitor's draw is noise and resolution rules (prediction 3)"
+        )
+    result.notes.append(
+        "paper frames the large-capacitor side as a resolution effect; in "
+        "this model the stranded-energy fraction is capacitance-invariant "
+        "and the LP/HP flip is driven by platform draw instead"
+    )
+    return result

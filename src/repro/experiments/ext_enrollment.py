@@ -1,0 +1,82 @@
+"""Extension: enrollment across a manufactured population.
+
+Section III-H justifies per-device enrollment with process variation:
+"identical ROs on different chips produce different frequencies under
+the same conditions".  This study manufactures a seeded population of
+chips, then measures each chip's worst-case voltage error two ways:
+
+* **factory-nominal** — every chip ships with the golden (nominal
+  device) calibration table, as if enrollment were skipped;
+* **per-chip enrollment** — each chip is characterized individually,
+  the paper's approach.
+
+The population statistics quantify exactly what the enrollment step
+buys.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Sequence
+
+from repro.core import FailureSentinels, FSConfig
+from repro.experiments.tables import ExperimentResult
+from repro.tech import ProcessVariation, TECH_90NM
+from repro.units import frange, micro
+
+
+def _worst_error(reader, truth_monitor, v_lo: float, v_hi: float) -> float:
+    worst = 0.0
+    for v in frange(v_lo, v_hi, 0.05):
+        estimate = reader(truth_monitor.count_at(v))
+        worst = max(worst, abs(estimate - v))
+    return worst
+
+
+def run(
+    population: int = 40,
+    variation: ProcessVariation = ProcessVariation(vth_sigma=0.02, drive_sigma=0.05),
+    base_seed: int = 100,
+) -> ExperimentResult:
+    config_kwargs = dict(ro_length=7, counter_bits=12, t_enable=micro(10),
+                         f_sample=1e3, nvm_entries=64, entry_bits=10)
+    golden = FailureSentinels(FSConfig(tech=TECH_90NM, **config_kwargs))
+    golden.enroll()
+    v_lo, v_hi = golden.config.v_supply_range
+
+    nominal_errors = []
+    enrolled_errors = []
+    for chip in variation.population(TECH_90NM, population, base_seed=base_seed):
+        fs = FailureSentinels(FSConfig(tech=chip.card, **config_kwargs))
+        nominal_errors.append(_worst_error(golden.read_voltage, fs, v_lo, v_hi))
+        fs.enroll()
+        enrolled_errors.append(_worst_error(fs.read_voltage, fs, v_lo, v_hi))
+
+    def stats(errors):
+        ordered = sorted(errors)
+        return {
+            "mean_mv": 1e3 * statistics.mean(errors),
+            "p95_mv": 1e3 * ordered[int(0.95 * (len(ordered) - 1))],
+            "max_mv": 1e3 * max(errors),
+        }
+
+    result = ExperimentResult(
+        experiment_id="Ext: enrollment study",
+        description=f"Worst-case error across {population} manufactured chips",
+        columns=["calibration", "mean_mv", "p95_mv", "max_mv"],
+    )
+    result.rows.append({"calibration": "factory-nominal table", **stats(nominal_errors)})
+    result.rows.append({"calibration": "per-chip enrollment", **stats(enrolled_errors)})
+
+    nominal, enrolled = result.rows
+    result.notes.append(
+        f"per-chip enrollment cuts the population's worst-case error "
+        f"{nominal['max_mv'] / enrolled['max_mv']:.1f}x "
+        f"({nominal['max_mv']:.0f} -> {enrolled['max_mv']:.0f} mV): the "
+        "Section III-H argument, quantified"
+    )
+    result.notes.append(
+        "residual enrolled error is the table's own budget (count "
+        "quantization + interpolation + entry width), not variation"
+    )
+    return result

@@ -1,0 +1,45 @@
+"""Figure 3: frequency-voltage sensitivity across ring length and node.
+
+Plots |df/dV| over the supply sweep for a spread of ring lengths in each
+technology.  The paper uses this to choose the divider ratio (Equation
+2's sensitivity gain) and to show that shorter rings give larger
+absolute sensitivity (Section III-D).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analog import RingOscillator
+from repro.experiments.tables import ExperimentResult
+from repro.tech import ALL_NODES
+from repro.units import frange
+
+
+def run(lengths: Sequence[int] = (7, 11, 21, 41), v_step: float = 0.1) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="Figure 3",
+        description="Frequency-voltage sensitivity |df/dV| (MHz/V)",
+        columns=["v_supply"]
+        + [f"{t.name}_n{n}" for t in ALL_NODES for n in lengths],
+    )
+    oscillators = {
+        (tech.name, n): RingOscillator(tech, n) for tech in ALL_NODES for n in lengths
+    }
+    for v in frange(0.3, 3.5, v_step):
+        row = {"v_supply": round(v, 3)}
+        for tech in ALL_NODES:
+            for n in lengths:
+                s = oscillators[(tech.name, n)].sensitivity(v)
+                row[f"{tech.name}_n{n}"] = abs(s) / 1e6
+        result.rows.append(row)
+
+    # Shorter rings -> higher absolute sensitivity (at a fixed voltage).
+    for tech in ALL_NODES:
+        at = 1.0
+        ordered = [abs(RingOscillator(tech, n).sensitivity(at)) for n in sorted(lengths)]
+        monotone = all(a >= b for a, b in zip(ordered, ordered[1:]))
+        result.notes.append(
+            f"{tech.name}: sensitivity at {at} V decreases with length: {monotone}"
+        )
+    return result

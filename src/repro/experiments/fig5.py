@@ -1,0 +1,80 @@
+"""Figure 5: the Pareto objective space in 90 nm.
+
+Runs the exploration (NSGA-II seeded with an exhaustive grid cross-
+check) and reports the Pareto front projected onto the first three
+performance parameters — mean current, granularity, sampling frequency
+— with NVM overhead and transistor count constrained per Table III.
+
+The paper's headline trade: at 10 kHz, coarsening granularity from
+~38 mV to ~48 mV buys a double-digit percentage current reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dse import DesignSpace, PerformanceModel, grid_explore, NSGA2
+from repro.experiments.tables import ExperimentResult
+from repro.tech import TECH_90NM, TechnologyCard
+
+
+def run(
+    tech: TechnologyCard = TECH_90NM,
+    use_nsga2: bool = True,
+    seed: int = 3,
+) -> ExperimentResult:
+    space = DesignSpace(tech)
+    model = PerformanceModel(space)
+    grid = grid_explore(model)
+    evaluations = list(grid.pareto)
+
+    if use_nsga2:
+        nsga = NSGA2(model, population_size=60, generations=30, seed=seed)
+        evaluations.extend(nsga.run().pareto())
+
+    # Merge and re-filter for the union front.
+    from repro.dse.pareto import pareto_front
+
+    unique = {e.point.as_tuple(): e for e in evaluations}
+    merged = list(unique.values())
+    front = [merged[i] for i in pareto_front([e.objectives() for e in merged])]
+    front.sort(key=lambda e: (e.f_sample, e.granularity))
+
+    result = ExperimentResult(
+        experiment_id="Figure 5",
+        description=f"Pareto objective space, {tech.name}",
+        columns=["f_sample_khz", "granularity_mv", "mean_current_ua",
+                 "ro_length", "t_enable_us", "counter_bits", "nvm_bytes"],
+    )
+    for e in front:
+        result.rows.append(
+            {
+                "f_sample_khz": e.f_sample / 1e3,
+                "granularity_mv": e.granularity * 1e3,
+                "mean_current_ua": e.mean_current * 1e6,
+                "ro_length": e.point.ro_length,
+                "t_enable_us": e.point.t_enable * 1e6,
+                "counter_bits": e.point.counter_bits,
+                "nvm_bytes": e.nvm_bytes,
+            }
+        )
+
+    # The granularity/current trade at the top sampling rate: cheapest
+    # config achieving <= 38 mV versus cheapest achieving <= 48 mV —
+    # the two operating points the paper quotes.
+    at_10k = [e for e in front if e.f_sample >= 9.5e3]
+    fine_ok = [e for e in at_10k if e.granularity <= 38.5e-3]
+    coarse_ok = [e for e in at_10k if e.granularity <= 48.5e-3]
+    if fine_ok and coarse_ok:
+        fine = min(fine_ok, key=lambda e: e.mean_current)
+        coarse = min(coarse_ok, key=lambda e: e.mean_current)
+        if fine.mean_current > 0:
+            saving = 1.0 - coarse.mean_current / fine.mean_current
+            result.notes.append(
+                f"at ~10 kHz: relaxing granularity {fine.granularity * 1e3:.0f}->"
+                f"{coarse.granularity * 1e3:.0f} mV cuts current "
+                f"{fine.mean_current * 1e6:.2f}->{coarse.mean_current * 1e6:.2f} uA "
+                f"({100 * saving:.0f}%; paper: 14% for 38->48 mV)"
+            )
+    result.notes.append(grid.summary().splitlines()[0])
+    return result

@@ -1,0 +1,82 @@
+"""Regenerate the paper's entire evaluation in one command::
+
+    python -m repro.experiments.runner           # all experiments
+    python -m repro.experiments.runner fig8      # one experiment
+
+Each experiment prints its regenerated rows plus notes comparing them
+to the paper's reported values.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.experiments import ExperimentResult
+from repro.experiments import (
+    ext_ablations,
+    ext_capacitor,
+    ext_diurnal,
+    ext_enrollment,
+    ext_interconnect,
+    ext_policies,
+    ext_scheduler,
+    fig1,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1.run,
+    "fig1": fig1.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "table4": table4.run,
+    "fig8": fig8.run,
+    # Extensions beyond the paper's evaluation (Section II-C / V-D.d).
+    "ext_policies": ext_policies.run,
+    "ext_scheduler": ext_scheduler.run,
+    "ext_capacitor": ext_capacitor.run,
+    "ext_ablations": ext_ablations.run,
+    "ext_enrollment": ext_enrollment.run,
+    "ext_interconnect": ext_interconnect.run,
+    "ext_diurnal": ext_diurnal.run,
+}
+
+
+def run_all(names: List[str] = None) -> List[ExperimentResult]:
+    """Run the selected (default: all) experiments, printing as we go."""
+    chosen = names or list(EXPERIMENTS)
+    results = []
+    for name in chosen:
+        if name not in EXPERIMENTS:
+            raise SystemExit(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+        start = time.time()
+        result = EXPERIMENTS[name]()
+        elapsed = time.time() - start
+        print(result.render())
+        print(f"({name} regenerated in {elapsed:.1f}s)\n")
+        results.append(result)
+    return results
+
+
+def main() -> None:
+    run_all(sys.argv[1:] or None)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Table III: the design and performance parameter bounds.
+
+These are definitions rather than measurements; the experiment verifies
+that the library's configuration validation enforces exactly these
+bounds (every limit is load-bearing in :class:`~repro.core.config.FSConfig`
+and the DSE rejection filter).
+"""
+
+from __future__ import annotations
+
+from repro.core import config as cfg
+from repro.experiments.tables import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="Table III",
+        description="Design and performance parameters bounding the exploration",
+        columns=["kind", "parameter", "min", "max"],
+    )
+    design = [
+        ("RO length (stages)", cfg.RO_LENGTH_MIN, cfg.RO_LENGTH_MAX),
+        ("F_s (kHz)", cfg.F_SAMPLE_MIN / 1e3, cfg.F_SAMPLE_MAX / 1e3),
+        ("counter size (bits)", cfg.COUNTER_BITS_MIN, cfg.COUNTER_BITS_MAX),
+        ("enable time (us)", cfg.T_ENABLE_MIN * 1e6, cfg.T_ENABLE_MAX * 1e6),
+        ("NVM entries", cfg.NVM_ENTRIES_MIN, cfg.NVM_ENTRIES_MAX),
+        ("entry size (bits)", cfg.ENTRY_BITS_MIN, cfg.ENTRY_BITS_MAX),
+    ]
+    performance = [
+        ("mean current (uA)", 0, cfg.MEAN_CURRENT_MAX * 1e6),
+        ("F_s (kHz)", cfg.F_SAMPLE_MIN / 1e3, cfg.F_SAMPLE_MAX / 1e3),
+        ("granularity (mV)", 0, cfg.GRANULARITY_MAX * 1e3),
+        ("NVM overhead (B)", 0, cfg.NVM_OVERHEAD_MAX_BYTES),
+        ("transistor count", 0, cfg.TRANSISTOR_COUNT_MAX),
+    ]
+    for name, lo, hi in design:
+        result.rows.append({"kind": "design", "parameter": name, "min": lo, "max": hi})
+    for name, lo, hi in performance:
+        result.rows.append({"kind": "performance", "parameter": name, "min": lo, "max": hi})
+    return result

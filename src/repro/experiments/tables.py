@@ -1,0 +1,64 @@
+"""Shared result container and text-table rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None, title: str = "") -> str:
+    """Render dict rows as an aligned text table.
+
+    Column order follows ``columns`` when given, else the first row's
+    key order.  Floats print with 4 significant digits.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            magnitude = abs(value)
+            if magnitude >= 1e5 or magnitude < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    table = [[cell(row.get(c, "")) for c in cols] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in table)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in table:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Regenerated rows for one table/figure plus context."""
+
+    experiment_id: str
+    description: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    columns: Optional[List[str]] = None
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        out = format_table(self.rows, self.columns, title=f"{self.experiment_id}: {self.description}")
+        if self.notes:
+            out += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return out
+
+    def column(self, name: str) -> List[Any]:
+        """Extract one column across rows (for assertions in tests)."""
+        if not self.rows:
+            raise ConfigurationError("experiment produced no rows")
+        return [row[name] for row in self.rows if name in row]

@@ -1,0 +1,70 @@
+"""Energy-harvesting intermittent-system simulation (Section V-D).
+
+Models the paper's evaluation platform: a 5 cm^2 solar panel charging a
+47 uF buffer capacitor that powers an MSP430-class microcontroller, an
+accelerometer, and one of several voltage monitors.  The simulator runs
+charge/discharge cycles against an irradiance trace and reports how much
+time each monitor choice leaves for application code — the experiment
+behind Table IV and Figure 8.
+"""
+
+from repro.harvest.traces import (
+    IrradianceTrace,
+    constant_trace,
+    nyc_pedestrian_night,
+    diurnal_trace,
+    rfid_reader_trace,
+    thermal_gradient_trace,
+)
+from repro.harvest.panel import SolarPanel
+from repro.harvest.capacitor import BufferCapacitor
+from repro.harvest.loads import (
+    MCULoad,
+    PeripheralLoad,
+    MSP430FR5969,
+    PIC16LF15386,
+    ADXL362,
+    SYSTEM_LEAKAGE,
+    table1_rows,
+)
+from repro.harvest.monitors import (
+    MonitorModel,
+    IdealMonitor,
+    FSMonitor,
+    ComparatorMonitor,
+    ADCMonitor,
+    fs_low_power_monitor,
+    fs_high_performance_monitor,
+)
+from repro.harvest.checkpoint import CheckpointModel
+from repro.harvest.simulator import IntermittentSimulator, SimulationReport
+from repro.harvest.fast import FastIntermittentSimulator
+
+__all__ = [
+    "IrradianceTrace",
+    "constant_trace",
+    "nyc_pedestrian_night",
+    "diurnal_trace",
+    "rfid_reader_trace",
+    "thermal_gradient_trace",
+    "SolarPanel",
+    "BufferCapacitor",
+    "MCULoad",
+    "PeripheralLoad",
+    "MSP430FR5969",
+    "PIC16LF15386",
+    "ADXL362",
+    "SYSTEM_LEAKAGE",
+    "table1_rows",
+    "MonitorModel",
+    "IdealMonitor",
+    "FSMonitor",
+    "ComparatorMonitor",
+    "ADCMonitor",
+    "fs_low_power_monitor",
+    "fs_high_performance_monitor",
+    "CheckpointModel",
+    "IntermittentSimulator",
+    "FastIntermittentSimulator",
+    "SimulationReport",
+]

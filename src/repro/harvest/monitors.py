@@ -1,0 +1,145 @@
+"""Voltage-monitor wrappers for the system simulation (Table IV).
+
+Each monitor contributes three things to the intermittent system:
+
+* ``current`` — what it adds to the supply draw while the system runs;
+* ``resolution`` — worst-case measurement error, which pads the
+  checkpoint voltage (energy left unusable in the capacitor);
+* ``sample_rate`` — how often it looks, which bounds how far the supply
+  can fall between looks (a second, smaller pad).
+
+The concrete models mirror the paper's Table IV rows: an ideal monitor,
+two Failure Sentinels operating points (low-power and high-performance,
+drawn from the Pareto front), the MSP430's analog comparator, and its
+ADC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analog.adc import SARADC
+from repro.analog.comparator import AnalogComparator
+from repro.core.config import FSConfig
+from repro.core.monitor import FailureSentinels
+from repro.errors import ConfigurationError
+from repro.tech import TECH_90NM
+from repro.units import kilo, micro
+
+
+@dataclass(frozen=True)
+class MonitorModel:
+    """What the system simulator needs to know about a monitor."""
+
+    name: str
+    current: float          # A while the system is on
+    resolution: float       # V worst-case measurement error
+    sample_rate: float      # Hz (inf = continuous)
+
+    def __post_init__(self) -> None:
+        if self.current < 0 or self.resolution < 0:
+            raise ConfigurationError("monitor current/resolution cannot be negative")
+        if self.sample_rate <= 0:
+            raise ConfigurationError("sample rate must be positive")
+
+    def sample_period(self) -> float:
+        if math.isinf(self.sample_rate):
+            return 0.0
+        return 1.0 / self.sample_rate
+
+
+def IdealMonitor() -> MonitorModel:
+    """Perfect sampling, zero overhead — Figure 8's normalization base."""
+    return MonitorModel(name="Ideal", current=0.0, resolution=0.0, sample_rate=math.inf)
+
+
+def FSMonitor(config: FSConfig, name: Optional[str] = None, v_typical: float = 3.0) -> MonitorModel:
+    """Wrap a Failure Sentinels configuration as a monitor model.
+
+    Current is the duty-cycled mean at a typical operating voltage;
+    resolution is the full analytic error budget (quantization +
+    interpolation + temperature + entry precision).
+    """
+    fs = FailureSentinels(config)
+    return MonitorModel(
+        name=name or f"FS({config.tech.name}, {config.f_sample / 1e3:.0f}kHz)",
+        current=fs.mean_current(v_typical),
+        resolution=fs.resolution_volts(),
+        sample_rate=config.f_sample,
+    )
+
+
+def ComparatorMonitor(comparator: Optional[AnalogComparator] = None) -> MonitorModel:
+    """The single-bit analog alternative (Hibernus-style systems)."""
+    comp = comparator or AnalogComparator()
+    return MonitorModel(
+        name="Comparator",
+        current=comp.supply_current,
+        resolution=comp.threshold_resolution,
+        sample_rate=comp.effective_sample_rate(),
+    )
+
+
+def ADCMonitor(adc: Optional[SARADC] = None, duty_cycled: bool = False) -> MonitorModel:
+    """The ADC-based monitor (Mementos-style systems).
+
+    ``duty_cycled`` models aggressive software that powers the ADC only
+    around conversions; the paper's comparison uses the continuously
+    powered configuration, since just-in-time systems must watch
+    constantly near the threshold.
+    """
+    converter = adc or SARADC()
+    current = converter.supply_current
+    if duty_cycled:
+        current *= 0.5
+    return MonitorModel(
+        name="ADC",
+        current=current,
+        resolution=converter.lsb,
+        sample_rate=converter.sample_rate,
+    )
+
+
+# ----------------------------------------------------------------------
+# The paper's two Failure Sentinels operating points (Table IV).
+#
+# Our design-space exploration selects its own Pareto-optimal configs;
+# these constructors pin the two performance corners the paper compares:
+# FS (LP) ~ 50 mV at 1 kHz for ~0.2 uA added, FS (HP) ~ 38 mV at 10 kHz
+# for ~1.3 uA added.  (The paper's quoted RO length / LUT shapes do not
+# reconcile with its own Eq. 1 + counter bounds; see EXPERIMENTS.md.)
+# ----------------------------------------------------------------------
+def fs_low_power_config() -> FSConfig:
+    """Low-power corner: coarse granularity, 1 kHz, minimal current."""
+    return FSConfig(
+        tech=TECH_90NM,
+        ro_length=7,
+        counter_bits=8,
+        t_enable=2e-6,
+        f_sample=kilo(1),
+        nvm_entries=49,
+        entry_bits=8,
+    )
+
+
+def fs_high_performance_config() -> FSConfig:
+    """High-performance corner: fine granularity at 10 kHz."""
+    return FSConfig(
+        tech=TECH_90NM,
+        ro_length=7,
+        counter_bits=10,
+        t_enable=4e-6,
+        f_sample=kilo(10),
+        nvm_entries=52,
+        entry_bits=10,
+    )
+
+
+def fs_low_power_monitor() -> MonitorModel:
+    return FSMonitor(fs_low_power_config(), name="FS (LP)")
+
+
+def fs_high_performance_monitor() -> MonitorModel:
+    return FSMonitor(fs_high_performance_config(), name="FS (HP)")

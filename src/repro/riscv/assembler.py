@@ -1,0 +1,299 @@
+"""A two-pass assembler for the supported RV32IM subset.
+
+Enough to write the runtime and test programs without an external
+toolchain: labels, decimal/hex immediates, ``%hi``/``%lo`` relocations,
+the common pseudo-instructions, and ``.word`` / ``.zero`` / ``.org``
+directives.  Register operands accept ABI names (``a0``) or ``x``
+numbers.
+
+Example::
+
+    program = assemble('''
+        start:
+            li   a0, 10
+            li   a1, 0
+        loop:
+            add  a1, a1, a0
+            addi a0, a0, -1
+            bnez a0, loop
+            mv   a0, a1
+            ecall            # halt, result in a0
+    ''')
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblerError
+from repro.riscv.encoding import (
+    OP_BRANCH,
+    OP_CUSTOM0,
+    OP_IMM,
+    OP_JAL,
+    OP_JALR,
+    OP_LOAD,
+    OP_LUI,
+    OP_AUIPC,
+    OP_REG,
+    OP_STORE,
+    OP_SYSTEM,
+    REGISTER_NUMBERS,
+    encode_b,
+    encode_i,
+    encode_j,
+    encode_r,
+    encode_s,
+    encode_u,
+)
+from repro.riscv.memory import RAM_BASE
+
+_CSR_NAMES = {
+    "mstatus": 0x300, "misa": 0x301, "mie": 0x304, "mtvec": 0x305,
+    "mscratch": 0x340, "mepc": 0x341, "mcause": 0x342, "mtval": 0x343,
+    "mip": 0x344, "mcycle": 0xB00, "mcycleh": 0xB80, "mhartid": 0xF14,
+}
+
+_R_OPS = {
+    "add": (0, 0x00), "sub": (0, 0x20), "sll": (1, 0x00), "slt": (2, 0x00),
+    "sltu": (3, 0x00), "xor": (4, 0x00), "srl": (5, 0x00), "sra": (5, 0x20),
+    "or": (6, 0x00), "and": (7, 0x00),
+    "mul": (0, 0x01), "mulh": (1, 0x01), "mulhsu": (2, 0x01), "mulhu": (3, 0x01),
+    "div": (4, 0x01), "divu": (5, 0x01), "rem": (6, 0x01), "remu": (7, 0x01),
+}
+_I_OPS = {"addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7}
+_SHIFT_OPS = {"slli": (1, 0x00), "srli": (5, 0x00), "srai": (5, 0x20)}
+_LOAD_OPS = {"lb": 0, "lh": 1, "lw": 2, "lbu": 4, "lhu": 5}
+_STORE_OPS = {"sb": 0, "sh": 1, "sw": 2}
+_BRANCH_OPS = {"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}
+_CSR_OPS = {"csrrw": 1, "csrrs": 2, "csrrc": 3, "csrrwi": 5, "csrrsi": 6, "csrrci": 7}
+
+
+def _reg(token: str, line_no: int, line: str) -> int:
+    name = token.strip().lower()
+    if name not in REGISTER_NUMBERS:
+        raise AssemblerError(f"unknown register {token!r}", line_no, line)
+    return REGISTER_NUMBERS[name]
+
+
+class _Context:
+    def __init__(self, base: int):
+        self.base = base
+        self.labels: Dict[str, int] = {}
+
+
+def _parse_imm(token: str, ctx: _Context, line_no: int, line: str) -> int:
+    token = token.strip()
+    hi = re.fullmatch(r"%hi\((.+)\)", token)
+    lo = re.fullmatch(r"%lo\((.+)\)", token)
+    if hi:
+        value = _parse_imm(hi.group(1), ctx, line_no, line)
+        return (value + 0x800) >> 12
+    if lo:
+        value = _parse_imm(lo.group(1), ctx, line_no, line)
+        return ((value & 0xFFF) ^ 0x800) - 0x800
+    if token in ctx.labels:
+        return ctx.labels[token]
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"bad immediate or unknown label {token!r}", line_no, line) from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [p.strip() for p in rest.split(",") if p.strip()] if rest.strip() else []
+
+
+_MEM_RE = re.compile(r"^(.*)\(\s*([a-zA-Z0-9]+)\s*\)$")
+
+
+def _mem_operand(token: str, ctx: _Context, line_no: int, line: str) -> Tuple[int, int]:
+    """Parse ``imm(reg)``; returns (imm, reg)."""
+    match = _MEM_RE.match(token.strip())
+    if not match:
+        raise AssemblerError(f"expected imm(reg), got {token!r}", line_no, line)
+    imm_text = match.group(1).strip() or "0"
+    return _parse_imm(imm_text, ctx, line_no, line), _reg(match.group(2), line_no, line)
+
+
+def _expand_pseudo(mnemonic: str, ops: List[str], line_no: int, line: str) -> List[Tuple[str, List[str]]]:
+    """Rewrite pseudo-instructions into base instructions.
+
+    ``li`` with a large immediate expands to ``lui`` + ``addi`` and must
+    always occupy two slots so label addresses stay stable; small ``li``
+    pads with a ``nop``.
+    """
+    if mnemonic == "nop":
+        return [("addi", ["x0", "x0", "0"])]
+    if mnemonic == "mv":
+        return [("addi", [ops[0], ops[1], "0"])]
+    if mnemonic == "not":
+        return [("xori", [ops[0], ops[1], "-1"])]
+    if mnemonic == "neg":
+        return [("sub", [ops[0], "x0", ops[1]])]
+    if mnemonic == "seqz":
+        return [("sltiu", [ops[0], ops[1], "1"])]
+    if mnemonic == "snez":
+        return [("sltu", [ops[0], "x0", ops[1]])]
+    if mnemonic == "beqz":
+        return [("beq", [ops[0], "x0", ops[1]])]
+    if mnemonic == "bnez":
+        return [("bne", [ops[0], "x0", ops[1]])]
+    if mnemonic == "blez":
+        return [("bge", ["x0", ops[0], ops[1]])]
+    if mnemonic == "bgez":
+        return [("bge", [ops[0], "x0", ops[1]])]
+    if mnemonic == "bltz":
+        return [("blt", [ops[0], "x0", ops[1]])]
+    if mnemonic == "bgtz":
+        return [("blt", ["x0", ops[0], ops[1]])]
+    if mnemonic == "bgt":
+        return [("blt", [ops[1], ops[0], ops[2]])]
+    if mnemonic == "ble":
+        return [("bge", [ops[1], ops[0], ops[2]])]
+    if mnemonic == "j":
+        return [("jal", ["x0", ops[0]])]
+    if mnemonic == "jr":
+        return [("jalr", ["x0", ops[0], "0"])]
+    if mnemonic == "ret":
+        return [("jalr", ["x0", "ra", "0"])]
+    if mnemonic == "call":
+        return [("jal", ["ra", ops[0]])]
+    if mnemonic == "li":
+        # Fixed two-slot expansion keeps pass-1 sizes exact.
+        return [("_li_hi", ops), ("_li_lo", ops)]
+    if mnemonic == "la":
+        return [("_la_hi", ops), ("_la_lo", ops)]
+    if mnemonic == "csrr":
+        return [("csrrs", [ops[0], ops[1], "x0"])]
+    if mnemonic == "csrw":
+        return [("csrrw", ["x0", ops[0], ops[1]])]
+    if mnemonic == "csrs":
+        return [("csrrs", ["x0", ops[0], ops[1]])]
+    if mnemonic == "csrc":
+        return [("csrrc", ["x0", ops[0], ops[1]])]
+    return [(mnemonic, ops)]
+
+
+def assemble(source: str, base: int = RAM_BASE) -> List[int]:
+    """Assemble ``source`` into a list of 32-bit words at ``base``."""
+    ctx = _Context(base)
+    # ---- pass 1: expand, size, collect labels ------------------------
+    items: List[Tuple[str, List[str], int, str, int]] = []  # (mn, ops, line_no, text, addr)
+    address = base
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split("#")[0].strip()
+        if not line:
+            continue
+        while True:
+            match = re.match(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$", line)
+            if not match:
+                break
+            ctx.labels[match.group(1)] = address
+            line = match.group(2).strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if mnemonic == ".org":
+            target = int(rest, 0)
+            if target < address:
+                raise AssemblerError(".org cannot move backwards", line_no, raw_line)
+            while address < target:
+                items.append((".word", ["0"], line_no, raw_line, address))
+                address += 4
+            continue
+        if mnemonic == ".word":
+            for token in _split_operands(rest):
+                items.append((".word", [token], line_no, raw_line, address))
+                address += 4
+            continue
+        if mnemonic == ".zero":
+            count = int(rest, 0)
+            if count % 4:
+                raise AssemblerError(".zero must be word-aligned", line_no, raw_line)
+            for _ in range(count // 4):
+                items.append((".word", ["0"], line_no, raw_line, address))
+                address += 4
+            continue
+        ops = _split_operands(rest)
+        for expanded_mn, expanded_ops in _expand_pseudo(mnemonic, ops, line_no, raw_line):
+            items.append((expanded_mn, expanded_ops, line_no, raw_line, address))
+            address += 4
+
+    # ---- pass 2: encode ----------------------------------------------
+    words: List[int] = []
+    for mnemonic, ops, line_no, line, addr in items:
+        words.append(_encode_one(mnemonic, ops, addr, ctx, line_no, line))
+    return words
+
+
+def _encode_one(mn: str, ops: List[str], addr: int, ctx: _Context, line_no: int, line: str) -> int:
+    try:
+        if mn == ".word":
+            return _parse_imm(ops[0], ctx, line_no, line) & 0xFFFFFFFF
+        if mn in ("_li_hi", "_la_hi"):
+            rd = _reg(ops[0], line_no, line)
+            value = _parse_imm(ops[1], ctx, line_no, line)
+            hi = ((value + 0x800) >> 12) & 0xFFFFF
+            return encode_u(OP_LUI, rd, hi << 12)
+        if mn in ("_li_lo", "_la_lo"):
+            rd = _reg(ops[0], line_no, line)
+            value = _parse_imm(ops[1], ctx, line_no, line)
+            lo = ((value & 0xFFF) ^ 0x800) - 0x800
+            return encode_i(OP_IMM, rd, 0, rd, lo)
+        if mn == "lui":
+            return encode_u(OP_LUI, _reg(ops[0], line_no, line), _parse_imm(ops[1], ctx, line_no, line) << 12)
+        if mn == "auipc":
+            return encode_u(OP_AUIPC, _reg(ops[0], line_no, line), _parse_imm(ops[1], ctx, line_no, line) << 12)
+        if mn in _R_OPS:
+            funct3, funct7 = _R_OPS[mn]
+            return encode_r(OP_REG, _reg(ops[0], line_no, line), funct3, _reg(ops[1], line_no, line), _reg(ops[2], line_no, line), funct7)
+        if mn in _I_OPS:
+            return encode_i(OP_IMM, _reg(ops[0], line_no, line), _I_OPS[mn], _reg(ops[1], line_no, line), _parse_imm(ops[2], ctx, line_no, line))
+        if mn in _SHIFT_OPS:
+            funct3, funct7 = _SHIFT_OPS[mn]
+            shamt = _parse_imm(ops[2], ctx, line_no, line) & 0x1F
+            return encode_r(OP_IMM, _reg(ops[0], line_no, line), funct3, _reg(ops[1], line_no, line), shamt, funct7)
+        if mn in _LOAD_OPS:
+            imm, rs1 = _mem_operand(ops[1], ctx, line_no, line)
+            return encode_i(OP_LOAD, _reg(ops[0], line_no, line), _LOAD_OPS[mn], rs1, imm)
+        if mn in _STORE_OPS:
+            imm, rs1 = _mem_operand(ops[1], ctx, line_no, line)
+            return encode_s(OP_STORE, _STORE_OPS[mn], rs1, _reg(ops[0], line_no, line), imm)
+        if mn in _BRANCH_OPS:
+            target = _parse_imm(ops[2], ctx, line_no, line)
+            return encode_b(OP_BRANCH, _BRANCH_OPS[mn], _reg(ops[0], line_no, line), _reg(ops[1], line_no, line), target - addr)
+        if mn == "jal":
+            target = _parse_imm(ops[1], ctx, line_no, line)
+            return encode_j(OP_JAL, _reg(ops[0], line_no, line), target - addr)
+        if mn == "jalr":
+            return encode_i(OP_JALR, _reg(ops[0], line_no, line), 0, _reg(ops[1], line_no, line), _parse_imm(ops[2], ctx, line_no, line))
+        if mn in _CSR_OPS:
+            csr_token = ops[1].strip().lower()
+            csr_addr = _CSR_NAMES.get(csr_token)
+            if csr_addr is None:
+                csr_addr = _parse_imm(ops[1], ctx, line_no, line)
+            if mn.endswith("i"):
+                zimm = _parse_imm(ops[2], ctx, line_no, line) & 0x1F
+                return encode_i(OP_SYSTEM, _reg(ops[0], line_no, line), _CSR_OPS[mn], zimm, csr_addr)
+            return encode_i(OP_SYSTEM, _reg(ops[0], line_no, line), _CSR_OPS[mn], _reg(ops[2], line_no, line), csr_addr)
+        if mn == "ecall":
+            return 0x00000073
+        if mn == "ebreak":
+            return 0x00100073
+        if mn == "mret":
+            return encode_i(OP_SYSTEM, 0, 0, 0, 0x302)
+        if mn == "wfi":
+            return encode_i(OP_SYSTEM, 0, 0, 0, 0x105)
+        if mn == "fence":
+            return 0x0000000F
+        if mn == "fsread":
+            return encode_r(OP_CUSTOM0, _reg(ops[0], line_no, line), 0, 0, 0, 0)
+        if mn == "fsen":
+            return encode_r(OP_CUSTOM0, 0, 1, _reg(ops[0], line_no, line), 0, 0)
+    except IndexError:
+        raise AssemblerError(f"missing operand for {mn}", line_no, line) from None
+    raise AssemblerError(f"unknown mnemonic {mn!r}", line_no, line)

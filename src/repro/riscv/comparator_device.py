@@ -1,0 +1,109 @@
+"""An analog-comparator monitor device for the ISS — the Hibernus story.
+
+Hibernus/QuickRecall-class systems drive their just-in-time checkpoint
+from an analog comparator instead of a poll-able monitor.  This device
+presents the same interface as :class:`~repro.riscv.fs_device.FSDevice`
+so the intermittent machine (and its policies) can run against either —
+the instruction-level version of Table IV's monitor swap:
+
+* it burns the comparator + reference current continuously;
+* the interrupt fires when the supply is at or below the (quantized)
+  threshold — effectively instantly (330 ns response);
+* there is no count: ``insn_fsread`` returns only a 1-bit
+  above/below indication, which is all single-bit hardware can say
+  (the paper's Section II-B critique of comparator-based designs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analog.comparator import AnalogComparator
+from repro.errors import ConfigurationError
+
+
+class _ComparatorMonitorShim:
+    """Quacks like enough of a FailureSentinels for the machine's
+    power accounting and the runtime's threshold plumbing."""
+
+    def __init__(self, comparator: AnalogComparator, device: "ComparatorDevice"):
+        self._comparator = comparator
+        self._device = device
+
+    def mean_current(self, _v_supply: float) -> float:
+        return self._comparator.supply_current
+
+    def read_voltage(self, bit: int) -> float:
+        """All a comparator can say: at/below threshold or above it."""
+        if bit:
+            return self._device.threshold_v
+        return self._device.threshold_v + self._comparator.threshold_resolution
+
+
+class ComparatorDevice:
+    """Drop-in monitor device backed by a single-bit comparator."""
+
+    def __init__(
+        self,
+        threshold_v: float = 1.9,
+        comparator: Optional[AnalogComparator] = None,
+        effective_sample_period: float = 1e-4,
+        v_supply: float = 3.0,
+    ):
+        if threshold_v <= 0:
+            raise ConfigurationError("threshold must be positive")
+        if effective_sample_period <= 0:
+            raise ConfigurationError("sample period must be positive")
+        self.comparator = comparator or AnalogComparator()
+        # The ladder only realizes discrete thresholds; round up so the
+        # checkpoint fires early, never late.
+        self.threshold_v = self.comparator.quantize_threshold(threshold_v)
+        #: Simulation quantum between supply checks; physically the
+        #: comparator is continuous (330 ns response), so this only
+        #: bounds simulation granularity, not detection latency margins.
+        self.sample_period = effective_sample_period
+        self.v_supply = v_supply
+        self.enabled = False
+        self.irq_pending = False
+        self.monitor = _ComparatorMonitorShim(self.comparator, self)
+
+    # ------------------------------------------------------------------
+    def set_supply(self, v_supply: float) -> None:
+        if v_supply < 0:
+            raise ConfigurationError("supply voltage cannot be negative")
+        self.v_supply = v_supply
+
+    def sample(self) -> int:
+        if not self.enabled:
+            return 0
+        below = self.comparator.compare(self.v_supply, self.threshold_v)
+        if below:
+            self.irq_pending = True
+        return int(below)
+
+    # -- FSDevice-compatible ISA surface ---------------------------------
+    def insn_fsread(self) -> int:
+        """Single-bit poll: 1 when at/below the threshold."""
+        return self.sample()
+
+    def insn_fsen(self, _threshold_count: int) -> None:
+        """Enable; the threshold is fixed in analog hardware, so the
+        operand is ignored — exactly the inflexibility the paper calls
+        out versus a programmable digital threshold."""
+        self.enabled = True
+        self.irq_pending = False
+        self.sample()
+
+    def threshold_for_voltage(self, v_threshold: float) -> int:
+        """The comparator cannot retune at run time; reject mismatches
+        loudly rather than silently checkpointing at the wrong level."""
+        if abs(v_threshold - self.threshold_v) > self.comparator.threshold_resolution:
+            raise ConfigurationError(
+                f"comparator threshold fixed at {self.threshold_v:.3f} V; "
+                f"cannot arm at {v_threshold:.3f} V"
+            )
+        return 1
+
+    def power_cycle(self) -> None:
+        self.enabled = False
+        self.irq_pending = False

@@ -1,0 +1,230 @@
+"""RV32IM instruction encoding and decoding.
+
+Field layouts follow the RISC-V unprivileged spec.  The module provides
+both directions: the assembler encodes with the ``encode_*`` helpers and
+the CPU decodes with :func:`decode`, which returns a :class:`Decoded`
+record (mnemonic + fields) consumed by the executor.
+
+The two Failure Sentinels instructions live in the *custom-0* opcode
+space (0x0B), exactly where an SoC integrator would put them:
+
+* ``fsread rd``       — rd <- energy count register (funct3 = 0);
+* ``fsen rs1``        — enable the monitor, threshold count <- rs1
+  (funct3 = 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import IllegalInstructionError
+
+MASK32 = 0xFFFFFFFF
+
+# Opcodes.
+OP_LUI = 0x37
+OP_AUIPC = 0x17
+OP_JAL = 0x6F
+OP_JALR = 0x67
+OP_BRANCH = 0x63
+OP_LOAD = 0x03
+OP_STORE = 0x23
+OP_IMM = 0x13
+OP_REG = 0x33
+OP_SYSTEM = 0x73
+OP_FENCE = 0x0F
+OP_CUSTOM0 = 0x0B  # Failure Sentinels instructions
+
+#: Architectural register ABI names, index order.
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+REGISTER_NUMBERS: Dict[str, int] = {name: i for i, name in enumerate(ABI_NAMES)}
+REGISTER_NUMBERS.update({f"x{i}": i for i in range(32)})
+REGISTER_NUMBERS["fp"] = 8
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` of ``value`` as two's complement."""
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def to_u32(value: int) -> int:
+    return value & MASK32
+
+
+def to_s32(value: int) -> int:
+    return sign_extend(value, 32)
+
+
+# ----------------------------------------------------------------------
+# Encoders (used by the assembler)
+# ----------------------------------------------------------------------
+def encode_r(opcode: int, rd: int, funct3: int, rs1: int, rs2: int, funct7: int) -> int:
+    return (
+        (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+    )
+
+
+def encode_i(opcode: int, rd: int, funct3: int, rs1: int, imm: int) -> int:
+    return (to_u32(imm) & 0xFFF) << 20 | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def encode_s(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    imm &= 0xFFF
+    return (
+        ((imm >> 5) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+    )
+
+
+def encode_b(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    imm &= 0x1FFF
+    return (
+        (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opcode
+    )
+
+
+def encode_u(opcode: int, rd: int, imm: int) -> int:
+    return (to_u32(imm) & 0xFFFFF000) | (rd << 7) | opcode
+
+
+def encode_j(opcode: int, rd: int, imm: int) -> int:
+    imm &= 0x1FFFFF
+    return (
+        (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (rd << 7)
+        | opcode
+    )
+
+
+# ----------------------------------------------------------------------
+# Decoder
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Decoded:
+    """A decoded instruction: mnemonic plus extracted fields."""
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    csr: int = 0
+    raw: int = 0
+
+
+_BRANCH_NAMES = {0: "beq", 1: "bne", 4: "blt", 5: "bge", 6: "bltu", 7: "bgeu"}
+_LOAD_NAMES = {0: "lb", 1: "lh", 2: "lw", 4: "lbu", 5: "lhu"}
+_STORE_NAMES = {0: "sb", 1: "sh", 2: "sw"}
+_IMM_NAMES = {0: "addi", 2: "slti", 3: "sltiu", 4: "xori", 6: "ori", 7: "andi"}
+_REG_NAMES = {
+    (0, 0x00): "add", (0, 0x20): "sub", (1, 0x00): "sll", (2, 0x00): "slt",
+    (3, 0x00): "sltu", (4, 0x00): "xor", (5, 0x00): "srl", (5, 0x20): "sra",
+    (6, 0x00): "or", (7, 0x00): "and",
+    (0, 0x01): "mul", (1, 0x01): "mulh", (2, 0x01): "mulhsu", (3, 0x01): "mulhu",
+    (4, 0x01): "div", (5, 0x01): "divu", (6, 0x01): "rem", (7, 0x01): "remu",
+}
+_CSR_NAMES = {1: "csrrw", 2: "csrrs", 3: "csrrc", 5: "csrrwi", 6: "csrrsi", 7: "csrrci"}
+_CUSTOM_NAMES = {0: "fsread", 1: "fsen"}
+
+
+def decode(word: int, pc: int = 0) -> Decoded:
+    """Decode one 32-bit instruction word."""
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode == OP_LUI:
+        return Decoded("lui", rd=rd, imm=to_s32(word & 0xFFFFF000), raw=word)
+    if opcode == OP_AUIPC:
+        return Decoded("auipc", rd=rd, imm=to_s32(word & 0xFFFFF000), raw=word)
+    if opcode == OP_JAL:
+        imm = (
+            (((word >> 31) & 1) << 20)
+            | (((word >> 21) & 0x3FF) << 1)
+            | (((word >> 20) & 1) << 11)
+            | (((word >> 12) & 0xFF) << 12)
+        )
+        return Decoded("jal", rd=rd, imm=sign_extend(imm, 21), raw=word)
+    if opcode == OP_JALR and funct3 == 0:
+        return Decoded("jalr", rd=rd, rs1=rs1, imm=sign_extend(word >> 20, 12), raw=word)
+    if opcode == OP_BRANCH and funct3 in _BRANCH_NAMES:
+        imm = (
+            (((word >> 31) & 1) << 12)
+            | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1)
+            | (((word >> 7) & 1) << 11)
+        )
+        return Decoded(
+            _BRANCH_NAMES[funct3], rs1=rs1, rs2=rs2, imm=sign_extend(imm, 13), raw=word
+        )
+    if opcode == OP_LOAD and funct3 in _LOAD_NAMES:
+        return Decoded(
+            _LOAD_NAMES[funct3], rd=rd, rs1=rs1, imm=sign_extend(word >> 20, 12), raw=word
+        )
+    if opcode == OP_STORE and funct3 in _STORE_NAMES:
+        imm = ((word >> 25) << 5) | ((word >> 7) & 0x1F)
+        return Decoded(
+            _STORE_NAMES[funct3], rs1=rs1, rs2=rs2, imm=sign_extend(imm, 12), raw=word
+        )
+    if opcode == OP_IMM:
+        if funct3 in _IMM_NAMES:
+            return Decoded(
+                _IMM_NAMES[funct3], rd=rd, rs1=rs1, imm=sign_extend(word >> 20, 12), raw=word
+            )
+        if funct3 == 1 and funct7 == 0:
+            return Decoded("slli", rd=rd, rs1=rs1, imm=rs2, raw=word)
+        if funct3 == 5 and funct7 == 0:
+            return Decoded("srli", rd=rd, rs1=rs1, imm=rs2, raw=word)
+        if funct3 == 5 and funct7 == 0x20:
+            return Decoded("srai", rd=rd, rs1=rs1, imm=rs2, raw=word)
+    if opcode == OP_REG and (funct3, funct7) in _REG_NAMES:
+        return Decoded(_REG_NAMES[(funct3, funct7)], rd=rd, rs1=rs1, rs2=rs2, raw=word)
+    if opcode == OP_FENCE:
+        return Decoded("fence", raw=word)
+    if opcode == OP_SYSTEM:
+        if funct3 == 0:
+            imm12 = word >> 20
+            if word == 0x00000073:
+                return Decoded("ecall", raw=word)
+            if word == 0x00100073:
+                return Decoded("ebreak", raw=word)
+            if imm12 == 0x302 and rs1 == 0 and rd == 0:
+                return Decoded("mret", raw=word)
+            if imm12 == 0x105 and rs1 == 0 and rd == 0:
+                return Decoded("wfi", raw=word)
+        elif funct3 in _CSR_NAMES:
+            return Decoded(
+                _CSR_NAMES[funct3], rd=rd, rs1=rs1, csr=(word >> 20) & 0xFFF, raw=word
+            )
+    if opcode == OP_CUSTOM0 and funct3 in _CUSTOM_NAMES:
+        return Decoded(_CUSTOM_NAMES[funct3], rd=rd, rs1=rs1, raw=word)
+
+    raise IllegalInstructionError(word, pc)

@@ -1,0 +1,268 @@
+"""Intermittent execution: the RISC-V core on harvested energy.
+
+Couples the instruction-set simulator to the harvesting stack: every
+executed instruction advances time at the core clock and drains the
+buffer capacitor; the Failure Sentinels device samples the rail at its
+configured rate; when its interrupt fires the checkpoint runtime
+persists state and the system powers down until the capacitor refills.
+
+This is the full-system demonstration of Section IV-B in simulation
+form: unmodified programs run to completion across arbitrarily many
+power failures and produce the same result they produce on stable
+power — the property the integration tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import SimulationError
+from repro.harvest.capacitor import BufferCapacitor
+from repro.harvest.loads import MCULoad, MSP430FR5969, SYSTEM_LEAKAGE
+from repro.harvest.panel import SolarPanel
+from repro.harvest.traces import IrradianceTrace, constant_trace
+from repro.riscv.cpu import CPU
+from repro.riscv.fs_device import FSDevice
+from repro.riscv.memory import MemoryMap, RAM_BASE
+from repro.riscv.runtime import CheckpointRuntime
+from repro.runtimes.policies import (
+    CheckpointDecision,
+    CheckpointPolicy,
+    JustInTimePolicy,
+    PolicyView,
+)
+
+
+@dataclass
+class IntermittentRunResult:
+    """What happened over one intermittent execution."""
+
+    completed: bool
+    exit_code: int = 0
+    wall_time: float = 0.0
+    active_time: float = 0.0
+    checkpoint_time: float = 0.0
+    instructions: int = 0
+    power_cycles: int = 0
+    checkpoints: int = 0
+    restores: int = 0
+    power_failures: int = 0  # died without a completed checkpoint
+    console_output: str = ""
+
+    def summary(self) -> str:
+        status = "completed" if self.completed else "DID NOT FINISH"
+        return (
+            f"{status}: exit={self.exit_code}, {self.instructions} instructions over "
+            f"{self.wall_time:.2f}s wall ({self.active_time:.3f}s active), "
+            f"{self.power_cycles} power cycles, {self.checkpoints} checkpoints, "
+            f"{self.power_failures} uncheckpointed failures"
+        )
+
+
+class IntermittentMachine:
+    """A batteryless RISC-V sensor node.
+
+    Parameters
+    ----------
+    program:
+        Assembled instruction words, loaded at the RAM base at every
+        cold boot (the program image itself lives in NVM/flash on real
+        parts, so power failures do not lose it).
+    v_threshold:
+        Supply voltage at which the runtime wants its checkpoint
+        interrupt.  The boot stub converts it to a count via the
+        device's enrollment table and issues ``fsen``.
+    policy:
+        The checkpoint policy (default: just-in-time on the Failure
+        Sentinels interrupt).  See :mod:`repro.runtimes.policies` for
+        the continuous and adaptive-timer alternatives; JIT-family
+        policies power the system down after a checkpoint (the supply
+        is dying), the others checkpoint and keep running.
+    """
+
+    def __init__(
+        self,
+        program: List[int],
+        fs_device: Optional[FSDevice] = None,
+        panel: Optional[SolarPanel] = None,
+        capacitance: float = 47e-6,
+        mcu: MCULoad = MSP430FR5969,
+        clock_hz: float = 1e6,
+        v_on: float = 3.5,
+        v_threshold: float = 1.9,
+        v_min: float = 1.8,
+        volatile_bytes: int = 8 * 1024,
+        leakage: float = SYSTEM_LEAKAGE,
+        policy: Optional[CheckpointPolicy] = None,
+    ):
+        if v_min >= v_threshold or v_threshold >= v_on:
+            raise SimulationError("need v_min < v_threshold < v_on")
+        self.program = list(program)
+        self.fs_device = fs_device or FSDevice()
+        self.panel = panel or SolarPanel()
+        self.capacitance = capacitance
+        self.mcu = mcu.with_clock(clock_hz)
+        self.clock_hz = clock_hz
+        self.v_on = v_on
+        self.v_threshold = v_threshold
+        self.v_min = v_min
+        self.volatile_bytes = volatile_bytes
+        self.leakage = leakage
+        self.policy = policy if policy is not None else JustInTimePolicy()
+
+        self.run_current = self.mcu.core_current + self.fs_device.monitor.mean_current(3.0) + leakage
+        self.memory = MemoryMap()
+        self.cpu = CPU(self.memory, fs_device=self.fs_device)
+        self.runtime = CheckpointRuntime(self.cpu, volatile_bytes=volatile_bytes)
+
+    # ------------------------------------------------------------------
+    def _boot(self) -> None:
+        """Cold boot: reload the image, restore or start fresh, arm FS."""
+        self.memory.power_failure()
+        self.memory.load_program(self.program)
+        self.cpu.reset()
+        restored = self.runtime.restore()
+        if not restored:
+            self.cpu.pc = RAM_BASE
+        # The recovery routine's first act: enable the monitor and set
+        # the threshold (the paper's second custom instruction).  A
+        # policy that ignores the interrupt still gets a disarmed but
+        # sampling monitor so it can poll via fsread.
+        if self.policy.uses_monitor_interrupt:
+            threshold_count = self.fs_device.threshold_for_voltage(self.v_threshold)
+        else:
+            threshold_count = 0
+        self.fs_device.insn_fsen(threshold_count)
+        self.policy.on_boot()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: Optional[IrradianceTrace] = None,
+        max_wall_time: float = 3600.0,
+        max_instructions: int = 50_000_000,
+    ) -> IntermittentRunResult:
+        """Execute the program across power cycles until it halts."""
+        trace = trace or constant_trace(5.0, max_wall_time)
+        result = IntermittentRunResult(completed=False)
+        cap = BufferCapacitor(capacitance=self.capacitance, voltage=0.0)
+        self.fs_device.power_cycle()
+        self.runtime.invalidate()
+
+        t = 0.0
+        charge_dt = 1e-3
+        # Instruction quantum between monitor samples.
+        quantum = max(1, int(self.clock_hz * self.fs_device.sample_period))
+
+        while t < max_wall_time and result.instructions < max_instructions:
+            # ---- charge until turn-on ---------------------------------
+            while cap.voltage < self.v_on and t < max_wall_time:
+                p_in = self.panel.electrical_power(trace.at(t))
+                cap.apply_power(p_in, self.leakage * cap.voltage, charge_dt)
+                t += charge_dt
+            if t >= max_wall_time:
+                break
+
+            result.power_cycles += 1
+            self._boot()
+            if self.runtime.restores_done and result.power_cycles > 1:
+                result.restores += 1
+            # Pay the restore cost in time and charge.
+            restore_time = self.runtime.restore_cycles() / self.clock_hz
+            cap.apply_power(
+                self.panel.electrical_power(trace.at(t)),
+                self.run_current * cap.voltage,
+                restore_time,
+            )
+            t += restore_time
+
+            # ---- run until checkpoint, halt, or death -----------------
+            boot_time = t
+            instructions_since_ckpt = 0
+            time_of_last_ckpt = t
+            while not self.cpu.halted:
+                before = self.cpu.instructions_retired
+                for _ in range(quantum):
+                    self.cpu.step()
+                    if self.cpu.halted:
+                        break
+                executed = self.cpu.instructions_retired - before
+                dt = executed / self.clock_hz if executed else self.fs_device.sample_period
+                p_in = self.panel.electrical_power(trace.at(t))
+                cap.apply_power(p_in, self.run_current * cap.voltage, dt)
+                t += dt
+                result.active_time += dt
+                result.instructions += executed
+                instructions_since_ckpt += executed
+
+                self.fs_device.set_supply(cap.voltage)
+                self.fs_device.sample()
+                view = PolicyView(
+                    instructions_since_checkpoint=instructions_since_ckpt,
+                    time_since_power_on=t - boot_time,
+                    time_since_checkpoint=t - time_of_last_ckpt,
+                    fs_device=self.fs_device,
+                )
+
+                if cap.voltage < self.v_min:
+                    # Died without warning: lost everything since the
+                    # last checkpoint.
+                    result.power_failures += 1
+                    self.policy.on_power_failure(view)
+                    break
+                if self.policy.decide(view) is CheckpointDecision.CHECKPOINT:
+                    record = self.runtime.checkpoint()
+                    ckpt_time = record.duration(self.clock_hz)
+                    cap.apply_power(
+                        self.panel.electrical_power(trace.at(t)),
+                        self.run_current * cap.voltage,
+                        ckpt_time,
+                    )
+                    t += ckpt_time
+                    result.checkpoints += 1
+                    result.checkpoint_time += ckpt_time
+                    self.policy.on_checkpoint(view)
+                    instructions_since_ckpt = 0
+                    time_of_last_ckpt = t
+                    if cap.voltage < self.v_min:
+                        # Checkpoint raced the supply and lost; the
+                        # checkpoint itself completed in NVM, so no
+                        # work is gone, but the cycle ends here.
+                        break
+                    if self.policy.uses_monitor_interrupt:
+                        # JIT-family: the supply is at the threshold by
+                        # construction; shut down and recharge.
+                        self.fs_device.power_cycle()
+                        break
+                    # Continuous-family: clear any latched interrupt and
+                    # keep executing until the supply actually dies.
+                    self.fs_device.irq_pending = False
+
+            if self.cpu.halted:
+                result.completed = True
+                result.exit_code = self.cpu.exit_code
+                break
+
+        result.wall_time = t
+        result.console_output = self.memory.console.text()
+        return result
+
+    # ------------------------------------------------------------------
+    def run_continuous(self, max_instructions: int = 50_000_000) -> IntermittentRunResult:
+        """Reference run on stable power (for result-equivalence tests)."""
+        self.memory.power_failure()
+        self.memory.load_program(self.program)
+        self.cpu.reset()
+        self.runtime.invalidate()
+        executed = self.cpu.run(max_instructions=max_instructions)
+        return IntermittentRunResult(
+            completed=self.cpu.halted,
+            exit_code=self.cpu.exit_code,
+            wall_time=executed / self.clock_hz,
+            active_time=executed / self.clock_hz,
+            instructions=executed,
+            power_cycles=1,
+            console_output=self.memory.console.text(),
+        )

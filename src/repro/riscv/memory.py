@@ -1,0 +1,166 @@
+"""Memory system: volatile RAM, FRAM-style NVM, and MMIO routing.
+
+The map models the paper's platform:
+
+* **RAM** at ``0x8000_0000`` — volatile; lost at power failure.
+* **NVM** at ``0x9000_0000`` — FRAM: byte-addressable, persistent, and
+  slow to write (the 8.192 ms worst-case checkpoint comes from writing
+  all volatile state here at 1 MHz).
+* **MMIO** at ``0x1000_0000`` — devices; the console and the Failure
+  Sentinels peripheral register here.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import MemoryAccessError
+
+RAM_BASE = 0x8000_0000
+RAM_SIZE = 64 * 1024
+NVM_BASE = 0x9000_0000
+NVM_SIZE = 128 * 1024
+MMIO_BASE = 0x1000_0000
+MMIO_SIZE = 0x1000
+
+#: Console transmit register (write a byte, it appears on the log).
+CONSOLE_TX = MMIO_BASE + 0x0
+
+
+class Region:
+    """A flat byte-addressable memory region."""
+
+    def __init__(self, base: int, size: int, persistent: bool = False):
+        self.base = base
+        self.size = size
+        self.persistent = persistent
+        self.data = bytearray(size)
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self.size
+
+    def read(self, address: int, width: int) -> int:
+        offset = address - self.base
+        if offset + width > self.size:
+            raise MemoryAccessError(address, "read past end of region")
+        return int.from_bytes(self.data[offset : offset + width], "little")
+
+    def write(self, address: int, value: int, width: int) -> None:
+        offset = address - self.base
+        if offset + width > self.size:
+            raise MemoryAccessError(address, "write past end of region")
+        self.data[offset : offset + width] = value.to_bytes(width, "little", signed=False)
+
+    def snapshot(self) -> bytes:
+        return bytes(self.data)
+
+    def restore(self, blob: bytes) -> None:
+        if len(blob) != self.size:
+            raise MemoryAccessError(self.base, "snapshot size mismatch")
+        self.data[:] = blob
+
+    def clear(self) -> None:
+        """Power failure: volatile contents decay to zero."""
+        if not self.persistent:
+            self.data[:] = bytes(self.size)
+
+
+class MMIODevice:
+    """Protocol for memory-mapped devices."""
+
+    def mmio_read(self, offset: int, width: int) -> int:
+        raise NotImplementedError
+
+    def mmio_write(self, offset: int, value: int, width: int) -> None:
+        raise NotImplementedError
+
+
+class Console(MMIODevice):
+    """A transmit-only UART: bytes written appear in ``output``."""
+
+    def __init__(self):
+        self.output = bytearray()
+
+    def mmio_read(self, offset: int, width: int) -> int:
+        return 0
+
+    def mmio_write(self, offset: int, value: int, width: int) -> None:
+        if offset == 0:
+            self.output.append(value & 0xFF)
+
+    def text(self) -> str:
+        return self.output.decode("latin-1")
+
+
+class MemoryMap:
+    """Routes CPU accesses to RAM, NVM, or MMIO devices."""
+
+    def __init__(self, ram_size: int = RAM_SIZE, nvm_size: int = NVM_SIZE):
+        self.ram = Region(RAM_BASE, ram_size, persistent=False)
+        self.nvm = Region(NVM_BASE, nvm_size, persistent=True)
+        self.console = Console()
+        self._mmio: List[Tuple[int, int, MMIODevice]] = [
+            (MMIO_BASE, 0x10, self.console),
+        ]
+        self.nvm_bytes_written = 0  # drives checkpoint timing models
+
+    # ------------------------------------------------------------------
+    def attach(self, base: int, size: int, device: MMIODevice) -> None:
+        for existing_base, existing_size, _dev in self._mmio:
+            if base < existing_base + existing_size and existing_base < base + size:
+                raise MemoryAccessError(base, "MMIO range overlaps existing device")
+        self._mmio.append((base, size, device))
+
+    def _route(self, address: int) -> Optional[Region]:
+        if self.ram.contains(address):
+            return self.ram
+        if self.nvm.contains(address):
+            return self.nvm
+        return None
+
+    # ------------------------------------------------------------------
+    def read(self, address: int, width: int) -> int:
+        if width not in (1, 2, 4, 8):
+            raise MemoryAccessError(address, f"bad access width {width}")
+        if address % width:
+            raise MemoryAccessError(address, "misaligned read")
+        region = self._route(address)
+        if region is not None:
+            return region.read(address, width)
+        for base, size, device in self._mmio:
+            if base <= address < base + size:
+                return device.mmio_read(address - base, width)
+        raise MemoryAccessError(address)
+
+    def write(self, address: int, value: int, width: int) -> None:
+        if width not in (1, 2, 4, 8):
+            raise MemoryAccessError(address, f"bad access width {width}")
+        if address % width:
+            raise MemoryAccessError(address, "misaligned write")
+        value &= (1 << (8 * width)) - 1
+        region = self._route(address)
+        if region is not None:
+            if region is self.nvm:
+                self.nvm_bytes_written += width
+            region.write(address, value, width)
+            return
+        for base, size, device in self._mmio:
+            if base <= address < base + size:
+                device.mmio_write(address - base, value, width)
+                return
+        raise MemoryAccessError(address)
+
+    # ------------------------------------------------------------------
+    def load_program(self, words: List[int], base: int = RAM_BASE) -> None:
+        """Place assembled instruction words into memory."""
+        for i, word in enumerate(words):
+            self.write(base + 4 * i, word, 4)
+
+    def load_bytes(self, blob: bytes, base: int) -> None:
+        for i, b in enumerate(blob):
+            self.write(base + i, b, 1)
+
+    def power_failure(self) -> None:
+        """Volatile state vanishes; NVM persists."""
+        self.ram.clear()

@@ -1,0 +1,143 @@
+"""Peripherals with volatile state: the JIT-checkpointing blind spot.
+
+Maeng & Lucia (PLDI'19, cited by the paper as a monitor-dependent JIT
+system) observe that checkpointing the *core* is not enough: peripherals
+hold configuration registers that power failures erase, so the runtime
+must re-establish them at restore time or the application silently reads
+garbage.
+
+This module provides a representative sensor peripheral and the restore
+hook that fixes it:
+
+* :class:`SPISensor` — an accelerometer-style MMIO device: software must
+  write a configuration (mode + scale) before samples are valid; a power
+  failure resets the configuration, after which reads return the
+  sentinel ``INVALID_READING``.
+* :class:`PeripheralRegistry` — tracks attached peripherals, snapshots
+  their software-visible configuration into the checkpoint, and replays
+  it on restore — the "library-level" fix.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.riscv.memory import MemoryMap, MMIODevice, MMIO_BASE
+
+#: Returned by an unconfigured sensor: obviously-wrong data.
+INVALID_READING = 0xDEADDEAD
+
+#: Register offsets.
+REG_MODE = 0x0      # 0 = off, 1 = measuring
+REG_SCALE = 0x4     # full-scale select, must be non-zero
+REG_DATA = 0x8      # current sample (RO)
+REG_SEQ = 0xC       # sample sequence number (RO)
+
+SENSOR_MMIO_OFFSET = 0x200
+SENSOR_MMIO_SIZE = 0x10
+
+
+class SPISensor(MMIODevice):
+    """An accelerometer-style peripheral with volatile configuration.
+
+    The "sensor physics" is a deterministic waveform generator so tests
+    can assert exact values: sample ``n`` is ``(seed + n * scale) mod
+    2^31``.
+    """
+
+    def __init__(self, seed: int = 1000):
+        self.seed = seed
+        self.mode = 0
+        self.scale = 0
+        self.sequence = 0
+
+    # -- configuration state -------------------------------------------
+    def configured(self) -> bool:
+        return self.mode == 1 and self.scale != 0
+
+    def power_failure(self) -> None:
+        """Volatile registers reset; the sequence counter also clears
+        (the device genuinely restarted)."""
+        self.mode = 0
+        self.scale = 0
+        self.sequence = 0
+
+    def snapshot_config(self) -> bytes:
+        """Software-visible configuration worth persisting."""
+        return struct.pack("<II", self.mode, self.scale)
+
+    def restore_config(self, blob: bytes) -> None:
+        if len(blob) != 8:
+            raise SimulationError("sensor config snapshot corrupt")
+        self.mode, self.scale = struct.unpack("<II", blob)
+
+    # -- MMIO ------------------------------------------------------------
+    def mmio_read(self, offset: int, width: int) -> int:
+        if offset == REG_MODE:
+            return self.mode
+        if offset == REG_SCALE:
+            return self.scale
+        if offset == REG_DATA:
+            if not self.configured():
+                return INVALID_READING
+            value = (self.seed + self.sequence * self.scale) & 0x7FFFFFFF
+            self.sequence += 1
+            return value
+        if offset == REG_SEQ:
+            return self.sequence
+        return 0
+
+    def mmio_write(self, offset: int, value: int, width: int) -> None:
+        if offset == REG_MODE:
+            self.mode = value & 1
+        elif offset == REG_SCALE:
+            self.scale = value
+
+
+class PeripheralRegistry:
+    """Attach peripherals and carry their configuration across failures.
+
+    The registry piggybacks on the checkpoint runtime: call
+    :meth:`snapshot` when checkpointing (the blob rides in NVM beside
+    the core state) and :meth:`restore` after the core restore.
+    """
+
+    def __init__(self):
+        self._devices: Dict[str, SPISensor] = {}
+
+    def attach(self, name: str, memory: MemoryMap, device: SPISensor, offset: int = SENSOR_MMIO_OFFSET) -> SPISensor:
+        if name in self._devices:
+            raise ConfigurationError(f"peripheral {name!r} already attached")
+        memory.attach(MMIO_BASE + offset, SENSOR_MMIO_SIZE, device)
+        self._devices[name] = device
+        return device
+
+    def devices(self) -> List[str]:
+        return sorted(self._devices)
+
+    def power_failure(self) -> None:
+        for device in self._devices.values():
+            device.power_failure()
+
+    def snapshot(self) -> bytes:
+        parts = [struct.pack("<I", len(self._devices))]
+        for name in sorted(self._devices):
+            blob = self._devices[name].snapshot_config()
+            parts.append(struct.pack("<I", len(blob)))
+            parts.append(blob)
+        return b"".join(parts)
+
+    def restore(self, blob: bytes) -> None:
+        offset = 0
+        (count,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        names = sorted(self._devices)
+        if count != len(names):
+            raise SimulationError("peripheral snapshot does not match attached devices")
+        for name in names:
+            (length,) = struct.unpack_from("<I", blob, offset)
+            offset += 4
+            self._devices[name].restore_config(blob[offset : offset + length])
+            offset += length

@@ -1,0 +1,135 @@
+"""The library-level checkpoint/restore runtime (Section IV-B).
+
+The paper links unmodified software against a library-level interrupt
+handler that saves a checkpoint when Failure Sentinels' interrupt fires.
+This module is that library, modelled natively: it serializes the CPU's
+architectural state plus volatile RAM into the FRAM-backed NVM region,
+and restores it at power-up.
+
+Checkpoint cost is modelled from first principles: FRAM writes stream at
+one byte per CPU cycle (1 MHz), so an 8 KiB volatile footprint costs
+8.192 ms — the paper's worst-case checkpoint figure.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.riscv.cpu import CPU, CPUState
+from repro.riscv.csr import MSTATUS, MEPC, MCAUSE, MTVEC, MIE, MSCRATCH
+from repro.riscv.memory import NVM_BASE, NVM_SIZE
+
+#: Marks a valid checkpoint in NVM.
+CHECKPOINT_MAGIC = 0xC0DE_5A7E
+
+#: CSRs worth persisting across power failures.
+_SAVED_CSRS = (MSTATUS, MEPC, MCAUSE, MTVEC, MIE, MSCRATCH)
+
+#: FRAM streaming write rate: bytes per CPU cycle.
+FRAM_BYTES_PER_CYCLE = 1.0
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """Bookkeeping for one completed checkpoint."""
+
+    bytes_written: int
+    cycles: int
+
+    def duration(self, clock_hz: float) -> float:
+        return self.cycles / clock_hz
+
+
+class CheckpointRuntime:
+    """Serialize/restore machine state through the NVM region.
+
+    ``volatile_bytes`` bounds how much RAM the runtime must persist;
+    programs with an 8 KiB footprint match the paper's 8.192 ms worst
+    case.  Layout in NVM (all little-endian words)::
+
+        [magic][pc][x1..x31][saved CSRs][ram_len][ram bytes...]
+    """
+
+    def __init__(self, cpu: CPU, volatile_bytes: int = 8 * 1024):
+        header = 4 * (2 + 31 + len(_SAVED_CSRS) + 1)
+        if volatile_bytes <= 0 or header + volatile_bytes > NVM_SIZE:
+            raise SimulationError(
+                f"volatile footprint {volatile_bytes} B does not fit NVM"
+            )
+        if volatile_bytes > cpu.memory.ram.size:
+            raise SimulationError("volatile footprint exceeds RAM size")
+        self.cpu = cpu
+        self.volatile_bytes = volatile_bytes
+        self.checkpoints_taken = 0
+        self.restores_done = 0
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> CheckpointRecord:
+        """Persist architectural state + volatile RAM to NVM.
+
+        Bulk bytes go straight into the NVM backing store (a real FRAM
+        controller DMA-streams them); the byte counter is bumped so the
+        memory system's accounting stays truthful.
+        """
+        cpu = self.cpu
+        words = [CHECKPOINT_MAGIC, cpu.pc]
+        words.extend(cpu.registers[1:])
+        for addr in _SAVED_CSRS:
+            words.append(cpu.csr.read(addr))
+        words.append(self.volatile_bytes)
+        blob = struct.pack(f"<{len(words)}I", *words)
+        ram = cpu.memory.ram.snapshot()[: self.volatile_bytes]
+        payload = blob + ram
+
+        nvm = cpu.memory.nvm
+        nvm.data[: len(payload)] = payload
+        cpu.memory.nvm_bytes_written += len(payload)
+        self.checkpoints_taken += 1
+        cycles = int(len(payload) / FRAM_BYTES_PER_CYCLE)
+        return CheckpointRecord(bytes_written=len(payload), cycles=cycles)
+
+    # ------------------------------------------------------------------
+    def has_checkpoint(self) -> bool:
+        return self._read_word(0) == CHECKPOINT_MAGIC
+
+    def restore(self) -> bool:
+        """Load the last checkpoint; returns False when none exists."""
+        if not self.has_checkpoint():
+            return False
+        cpu = self.cpu
+        offset = 4
+        pc = self._read_word(offset)
+        offset += 4
+        regs = [0]
+        for _ in range(31):
+            regs.append(self._read_word(offset))
+            offset += 4
+        csr_values = {}
+        for addr in _SAVED_CSRS:
+            csr_values[addr] = self._read_word(offset)
+            offset += 4
+        ram_len = self._read_word(offset)
+        offset += 4
+        if ram_len > self.volatile_bytes:
+            raise SimulationError("corrupt checkpoint: RAM length mismatch")
+        ram = bytes(cpu.memory.nvm.data[offset : offset + ram_len])
+        cpu.memory.ram.data[:ram_len] = ram
+        cpu.restore_state(CPUState(pc=pc, registers=regs, csrs=csr_values))
+        self.restores_done += 1
+        return True
+
+    def invalidate(self) -> None:
+        cpu = self.cpu
+        cpu.memory.nvm.data[0:4] = b"\x00\x00\x00\x00"
+
+    def restore_cycles(self) -> int:
+        """Cycles to stream the checkpoint back out of FRAM."""
+        header = 4 * (2 + 31 + len(_SAVED_CSRS) + 1)
+        return int((header + self.volatile_bytes) / FRAM_BYTES_PER_CYCLE)
+
+    # ------------------------------------------------------------------
+    def _read_word(self, offset: int) -> int:
+        return int.from_bytes(self.cpu.memory.nvm.data[offset : offset + 4], "little")

@@ -1,0 +1,265 @@
+"""A workload suite for the intermittent machine.
+
+Intermittent-computing papers evaluate on a recurring set of small
+kernels (Mementos, Chain, Alpaca, Chinchilla all use variants of CRC,
+bit counting, sorting, and sensing pipelines).  This module provides
+assembly implementations with host-side Python references so any
+harness — tests, examples, policy studies — can assert bit-exact
+results across power failures.
+
+Each entry is a :class:`Workload` with the source, a callable Python
+reference producing the expected exit code, and a rough instruction
+count so callers can size capacitors/traces for the intermittency they
+want.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.riscv.assembler import assemble
+
+
+def _mask(x: int) -> int:
+    x &= 0xFFFFFFFF
+    return x - (1 << 32) if x & 0x80000000 else x
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark kernel."""
+
+    name: str
+    description: str
+    source: str
+    reference: Callable[[], int]
+    approx_instructions: int
+
+    def assemble(self) -> List[int]:
+        return assemble(self.source)
+
+    def expected_exit_code(self) -> int:
+        return _mask(self.reference())
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+_CRC32_SOURCE = """
+    li   s0, 0xFFFFFFFF
+    li   s1, 0
+    li   s2, 128
+byte_loop:
+    xor  s0, s0, s1
+    li   t1, 8
+bit_loop:
+    andi t2, s0, 1
+    srli s0, s0, 1
+    beqz t2, no_poly
+    li   t3, 0xEDB88320
+    xor  s0, s0, t3
+no_poly:
+    addi t1, t1, -1
+    bnez t1, bit_loop
+    addi s1, s1, 1
+    blt  s1, s2, byte_loop
+    not  a0, s0
+    ecall
+"""
+
+
+def _crc32_reference() -> int:
+    return zlib.crc32(bytes(range(128)))
+
+
+_BITCOUNT_SOURCE = """
+    # Population count over a pseudo-random word stream (xorshift32).
+    li   s0, 0x12345678   # state
+    li   s1, 400          # words
+    li   s2, 0            # total bits
+word_loop:
+    # xorshift32
+    slli t0, s0, 13
+    xor  s0, s0, t0
+    srli t0, s0, 17
+    xor  s0, s0, t0
+    slli t0, s0, 5
+    xor  s0, s0, t0
+    # popcount of s0
+    mv   t1, s0
+    li   t2, 0
+pop_loop:
+    andi t3, t1, 1
+    add  t2, t2, t3
+    srli t1, t1, 1
+    bnez t1, pop_loop
+    add  s2, s2, t2
+    addi s1, s1, -1
+    bnez s1, word_loop
+    mv   a0, s2
+    ecall
+"""
+
+
+def _bitcount_reference() -> int:
+    state = 0x12345678
+    total = 0
+    for _ in range(400):
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        total += bin(state).count("1")
+    return total
+
+
+_FLETCHER_SOURCE = """
+    # Fletcher-style checksum over an evolving data region.
+    li   s0, 0
+    li   s1, 250
+    li   s2, 0
+    li   s3, 0
+outer:
+    li   t0, 0x80001000
+    li   t1, 200
+inner:
+    lw   t2, 0(t0)
+    add  s2, s2, t2
+    add  s3, s3, s2
+    addi s2, s2, 13
+    sw   s2, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, inner
+    addi s0, s0, 1
+    blt  s0, s1, outer
+    xor  a0, s2, s3
+    ecall
+"""
+
+
+def _fletcher_reference() -> int:
+    memory = [0] * 200
+    a = b = 0
+    for _ in range(250):
+        for i in range(200):
+            a = (a + memory[i]) & 0xFFFFFFFF
+            b = (b + a) & 0xFFFFFFFF
+            a = (a + 13) & 0xFFFFFFFF
+            memory[i] = a
+    return a ^ b
+
+
+_SORT_SOURCE = """
+    # Bubble-sort a 48-element descending array; return the median-ish
+    # element XOR the extremes.
+    li   t0, 0x80002000
+    li   t1, 48
+    li   t2, 0
+fill:
+    sub  t3, t1, t2
+    mul  t3, t3, t3       # squares: 48^2 .. 1
+    sw   t3, 0(t0)
+    addi t0, t0, 4
+    addi t2, t2, 1
+    blt  t2, t1, fill
+
+    li   s0, 0
+sort_outer:
+    li   s1, 0
+    li   t0, 0x80002000
+sort_inner:
+    lw   t3, 0(t0)
+    lw   t4, 4(t0)
+    ble  t3, t4, noswap
+    sw   t4, 0(t0)
+    sw   t3, 4(t0)
+noswap:
+    addi t0, t0, 4
+    addi s1, s1, 1
+    addi t5, t1, -1
+    blt  s1, t5, sort_inner
+    addi s0, s0, 1
+    blt  s0, t1, sort_outer
+
+    li   t0, 0x80002000
+    lw   a0, 0(t0)        # min
+    lw   t2, 96(t0)       # index 24
+    xor  a0, a0, t2
+    lw   t2, 188(t0)      # max (index 47)
+    xor  a0, a0, t2
+    ecall
+"""
+
+
+def _sort_reference() -> int:
+    values = sorted((48 - i) ** 2 for i in range(48))
+    return values[0] ^ values[24] ^ values[47]
+
+
+_SENSE_PIPELINE_SOURCE = """
+    # Sensing pipeline: synthesize samples, moving-average filter,
+    # threshold-count events (an AR-style kernel).
+    li   s0, 0            # sample index
+    li   s1, 600          # samples
+    li   s2, 0            # filtered accumulator (window of 4)
+    li   s3, 0            # event count
+    li   s4, 0x9E3779B9   # stride for synthetic signal
+    li   s5, 0            # phase
+sample_loop:
+    add  s5, s5, s4       # next phase
+    srli t0, s5, 24       # 8-bit "sample"
+    add  s2, s2, t0
+    andi t1, s0, 3
+    li   t2, 3
+    bne  t1, t2, no_window
+    # window complete: average and compare
+    srli t3, s2, 2
+    li   t4, 128
+    blt  t3, t4, below
+    addi s3, s3, 1
+below:
+    li   s2, 0
+no_window:
+    addi s0, s0, 1
+    blt  s0, s1, sample_loop
+    mv   a0, s3
+    ecall
+"""
+
+
+def _sense_reference() -> int:
+    phase = 0
+    acc = 0
+    events = 0
+    for i in range(600):
+        phase = (phase + 0x9E3779B9) & 0xFFFFFFFF
+        acc += phase >> 24
+        if i % 4 == 3:
+            if acc // 4 >= 128:
+                events += 1
+            acc = 0
+    return events
+
+
+WORKLOADS: Dict[str, Workload] = {
+    w.name: w
+    for w in [
+        Workload("crc32", "bitwise CRC-32 over 128 bytes", _CRC32_SOURCE, _crc32_reference, 15_000),
+        Workload("bitcount", "popcount over a 400-word xorshift stream", _BITCOUNT_SOURCE, _bitcount_reference, 35_000),
+        Workload("fletcher", "Fletcher checksum over evolving memory", _FLETCHER_SOURCE, _fletcher_reference, 400_000),
+        Workload("sort", "bubble sort of 48 squares", _SORT_SOURCE, _sort_reference, 30_000),
+        Workload("sense", "sample/filter/threshold sensing pipeline", _SENSE_PIPELINE_SOURCE, _sense_reference, 8_000),
+    ]
+}
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None

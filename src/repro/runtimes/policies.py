@@ -1,0 +1,185 @@
+"""Checkpoint policies for the intermittent RISC-V machine.
+
+A policy answers one question after every execution quantum: *checkpoint
+now?*  The machine supplies a :class:`PolicyView` of what real software
+could observe — instruction/time progress and the Failure Sentinels
+device (if the policy deigns to read it).  Policies never see the true
+capacitor voltage; that is the whole point of the comparison.
+
+Implemented policies and their lineage:
+
+* :class:`JustInTimePolicy` — checkpoint exactly when the monitor's
+  threshold interrupt fires (the paper's primary design, Section IV-B).
+* :class:`ContinuousPolicy` — checkpoint every N instructions with no
+  voltage monitor at all (Mementos/Ratchet-style).  Safe but wasteful:
+  most checkpoints are superfluous.
+* :class:`AdaptiveTimerPolicy` — Chinchilla-style: estimate the on-time
+  from observed lifetimes and checkpoint when the timer nears expiry.
+  Without energy visibility it must keep a pessimistic guard band, and
+  a mispredicted lifetime still costs a power failure.
+* :class:`MonitoredTimerPolicy` — the paper's Section II-C argument:
+  give Chinchilla a poll-able monitor and the guard band collapses to
+  the monitor's resolution; the timer only schedules *when to look*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+class CheckpointDecision(str, Enum):
+    CONTINUE = "continue"
+    CHECKPOINT = "checkpoint"
+
+
+@dataclass
+class PolicyView:
+    """What software can observe at a decision point."""
+
+    instructions_since_checkpoint: int
+    time_since_power_on: float
+    time_since_checkpoint: float
+    fs_device: Optional[object] = None  # FSDevice, if present
+
+    def fs_interrupt_pending(self) -> bool:
+        return self.fs_device is not None and self.fs_device.irq_pending
+
+    def fs_voltage(self) -> Optional[float]:
+        """Poll the monitor (fsread + table lookup); None without one."""
+        if self.fs_device is None:
+            return None
+        count = self.fs_device.insn_fsread()
+        return self.fs_device.monitor.read_voltage(count)
+
+
+class CheckpointPolicy:
+    """Base class; concrete policies override :meth:`decide`."""
+
+    #: Human-readable name for experiment tables.
+    name = "abstract"
+
+    #: Whether the machine should arm the FS threshold interrupt.
+    uses_monitor_interrupt = False
+
+    def decide(self, view: PolicyView) -> CheckpointDecision:
+        raise NotImplementedError
+
+    # -- lifecycle callbacks (for adaptation) ---------------------------
+    def on_boot(self) -> None:
+        """Power restored; a new lifetime begins."""
+
+    def on_checkpoint(self, view: PolicyView) -> None:
+        """A checkpoint just completed."""
+
+    def on_power_failure(self, view: PolicyView) -> None:
+        """The supply died before a checkpoint — work was lost."""
+
+
+class JustInTimePolicy(CheckpointPolicy):
+    """Checkpoint on the Failure Sentinels threshold interrupt."""
+
+    name = "just-in-time (FS)"
+    uses_monitor_interrupt = True
+
+    def decide(self, view: PolicyView) -> CheckpointDecision:
+        if view.fs_interrupt_pending():
+            return CheckpointDecision.CHECKPOINT
+        return CheckpointDecision.CONTINUE
+
+
+class ContinuousPolicy(CheckpointPolicy):
+    """Checkpoint every ``period_instructions`` retired instructions."""
+
+    name = "continuous"
+    uses_monitor_interrupt = False
+
+    def __init__(self, period_instructions: int = 20_000):
+        if period_instructions < 1:
+            raise ConfigurationError("checkpoint period must be >= 1 instruction")
+        self.period_instructions = period_instructions
+
+    def decide(self, view: PolicyView) -> CheckpointDecision:
+        if view.instructions_since_checkpoint >= self.period_instructions:
+            return CheckpointDecision.CHECKPOINT
+        return CheckpointDecision.CONTINUE
+
+
+class AdaptiveTimerPolicy(CheckpointPolicy):
+    """Chinchilla-style adaptive timer, *without* energy visibility.
+
+    Tracks an exponential moving average of observed on-times.  A
+    checkpoint is taken once ``guard_band`` of the expected lifetime has
+    elapsed since power-on, and again periodically after that (the
+    system cannot know how much margin remains).  A power failure means
+    the estimate was too optimistic: the expectation shrinks hard.
+    """
+
+    name = "adaptive timer"
+    uses_monitor_interrupt = False
+
+    def __init__(
+        self,
+        initial_lifetime: float = 0.2,
+        guard_band: float = 0.6,
+        smoothing: float = 0.3,
+        failure_backoff: float = 0.5,
+    ):
+        if not 0 < guard_band < 1:
+            raise ConfigurationError("guard band must be in (0, 1)")
+        if not 0 < smoothing <= 1:
+            raise ConfigurationError("smoothing must be in (0, 1]")
+        if not 0 < failure_backoff < 1:
+            raise ConfigurationError("failure backoff must be in (0, 1)")
+        self.expected_lifetime = initial_lifetime
+        self.guard_band = guard_band
+        self.smoothing = smoothing
+        self.failure_backoff = failure_backoff
+
+    def _deadline(self) -> float:
+        return self.guard_band * self.expected_lifetime
+
+    def decide(self, view: PolicyView) -> CheckpointDecision:
+        if view.time_since_power_on >= self._deadline() and (
+            view.time_since_checkpoint >= self._deadline() * 0.5
+        ):
+            return CheckpointDecision.CHECKPOINT
+        return CheckpointDecision.CONTINUE
+
+    def on_checkpoint(self, view: PolicyView) -> None:
+        # Survived at least this long: blend the observation in.
+        observed = view.time_since_power_on
+        self.expected_lifetime += self.smoothing * (observed / self.guard_band - self.expected_lifetime)
+
+    def on_power_failure(self, view: PolicyView) -> None:
+        self.expected_lifetime *= self.failure_backoff
+
+
+class MonitoredTimerPolicy(CheckpointPolicy):
+    """Adaptive timer + Failure Sentinels energy queries (Section II-C).
+
+    The timer only decides when to *look*; the checkpoint decision comes
+    from the measured supply voltage, so no guard band on lifetime is
+    needed.  Checkpoints happen when the supply falls within
+    ``margin`` of the checkpoint threshold.
+    """
+
+    name = "timer + FS"
+    uses_monitor_interrupt = True
+
+    def __init__(self, v_checkpoint: float = 1.9, margin: float = 0.08):
+        if margin <= 0:
+            raise ConfigurationError("margin must be positive")
+        self.v_checkpoint = v_checkpoint
+        self.margin = margin
+
+    def decide(self, view: PolicyView) -> CheckpointDecision:
+        if view.fs_interrupt_pending():
+            return CheckpointDecision.CHECKPOINT  # hard backstop
+        volts = view.fs_voltage()
+        if volts is not None and volts <= self.v_checkpoint + self.margin:
+            return CheckpointDecision.CHECKPOINT
+        return CheckpointDecision.CONTINUE

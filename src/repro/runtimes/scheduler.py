@@ -1,0 +1,223 @@
+"""Energy-aware task scheduling (Dewdrop / HarvOS, Section II-C).
+
+Sensor-node firmware is a bag of tasks — sample, filter, compress,
+transmit — with very different energy costs.  On harvested power, a
+task started without enough buffered energy dies mid-flight and its
+energy is wasted.  Dewdrop and HarvOS avoid this by comparing each
+task's cost against the energy actually available, which requires
+exactly the cheap, poll-able measurement Failure Sentinels provides.
+
+Two schedulers over the same capacitor/harvester model:
+
+* :class:`BlindScheduler` — no voltage monitor: starts the next task
+  whenever the system is awake (it only knows "we booted", i.e. the
+  supply reached turn-on once).
+* :class:`EnergyAwareScheduler` — polls a monitor before each task and
+  starts the *largest* task that fits the measured energy (classic
+  best-fit); sleeps when nothing fits, letting the capacitor refill.
+
+:func:`run_schedule` drives either against an irradiance trace and
+reports completions, kills, and energy efficiency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.harvest.capacitor import BufferCapacitor
+from repro.harvest.loads import SYSTEM_LEAKAGE
+from repro.harvest.monitors import MonitorModel
+from repro.harvest.panel import SolarPanel
+from repro.harvest.traces import IrradianceTrace
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of application work.
+
+    ``current`` is the system draw while the task runs; ``duration`` is
+    its run time at that draw; a task that loses power before finishing
+    yields nothing.
+    """
+
+    name: str
+    current: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.current <= 0 or self.duration <= 0:
+            raise ConfigurationError(f"task {self.name}: current/duration must be positive")
+
+    def energy_at(self, voltage: float) -> float:
+        """Worst-case energy to finish, priced at the given rail voltage."""
+        return self.current * voltage * self.duration
+
+
+@dataclass
+class TaskStats:
+    completed: int = 0
+    killed: int = 0
+    useful_energy: float = 0.0
+    wasted_energy: float = 0.0
+
+
+class BlindScheduler:
+    """Round-robin without energy visibility."""
+
+    name = "blind"
+
+    def __init__(self, tasks: Sequence[Task]):
+        if not tasks:
+            raise ConfigurationError("need at least one task")
+        self.tasks = list(tasks)
+        self._next = 0
+
+    def pick(self, capacitor: BufferCapacitor, v_floor: float) -> Optional[Task]:
+        task = self.tasks[self._next % len(self.tasks)]
+        self._next += 1
+        return task
+
+
+class EnergyAwareScheduler:
+    """Best-fit against the monitor's energy reading.
+
+    The measured voltage is the true voltage corrupted pessimistically
+    by the monitor's resolution (worst-case read), exactly how deployed
+    firmware must treat it.
+    """
+
+    name = "energy-aware"
+
+    def __init__(self, tasks: Sequence[Task], monitor: MonitorModel):
+        if not tasks:
+            raise ConfigurationError("need at least one task")
+        self.tasks = sorted(tasks, key=lambda t: -t.current * t.duration)
+        self.monitor = monitor
+
+    def measured_voltage(self, true_voltage: float) -> float:
+        return max(0.0, true_voltage - self.monitor.resolution)
+
+    def pick(self, capacitor: BufferCapacitor, v_floor: float) -> Optional[Task]:
+        v_meas = self.measured_voltage(capacitor.voltage)
+        if v_meas <= v_floor:
+            return None
+        budget = 0.5 * capacitor.capacitance * (v_meas**2 - v_floor**2)
+        for task in self.tasks:  # largest first: best fit
+            if task.energy_at(v_meas) <= budget:
+                return task
+        return None
+
+
+@dataclass
+class SchedulerRun:
+    """Outcome of one trace replay under a scheduler."""
+
+    scheduler_name: str
+    stats: TaskStats
+    duration: float
+    monitor_energy: float = 0.0
+
+    @property
+    def completion_ratio(self) -> float:
+        total = self.stats.completed + self.stats.killed
+        return self.stats.completed / total if total else 0.0
+
+    @property
+    def useful_fraction(self) -> float:
+        total = self.stats.useful_energy + self.stats.wasted_energy + self.monitor_energy
+        return self.stats.useful_energy / total if total > 0 else 0.0
+
+
+def run_schedule(
+    scheduler,
+    trace: IrradianceTrace,
+    monitor_current: float = 0.0,
+    panel: Optional[SolarPanel] = None,
+    capacitance: float = 47e-6,
+    v_on: float = 3.5,
+    v_floor: float = 1.8,
+    leakage: float = SYSTEM_LEAKAGE,
+    dt: float = 1e-3,
+) -> SchedulerRun:
+    """Replay ``trace``: charge, pick tasks, run or die, repeat.
+
+    ``monitor_current`` is the voltage monitor's draw while the system
+    is awake (zero for the blind scheduler, which has none).
+    """
+    if dt <= 0:
+        raise SimulationError("dt must be positive")
+    panel = panel or SolarPanel()
+    cap = BufferCapacitor(capacitance=capacitance)
+    stats = TaskStats()
+    monitor_energy = 0.0
+
+    t = 0.0
+    awake = False
+    task: Optional[Task] = None
+    task_left = 0.0
+    task_spent = 0.0
+
+    steps = int(round(trace.duration / dt))
+    for step in range(steps):
+        t = step * dt
+        p_in = panel.electrical_power(trace.at(t))
+        v = cap.voltage
+
+        if not awake:
+            cap.apply_power(p_in, leakage * v, dt)
+            if cap.voltage >= v_on:
+                awake = True
+            continue
+
+        if task is None:
+            task = scheduler.pick(cap, v_floor)
+            if task is None:
+                # Nothing fits: sleep one step and let the cap refill.
+                cap.apply_power(p_in, leakage * v, dt)
+                if cap.voltage < v_floor:
+                    awake = False
+                continue
+            task_left = task.duration
+            task_spent = 0.0
+
+        draw = (task.current + monitor_current + leakage) * v
+        cap.apply_power(p_in, draw, dt)
+        spent_now = draw * dt
+        task_spent += task.current * v * dt
+        monitor_energy += monitor_current * v * dt
+        task_left -= dt
+
+        if cap.voltage < v_floor:
+            # Power failure mid-task: the task's energy is wasted.
+            stats.killed += 1
+            stats.wasted_energy += task_spent
+            task = None
+            awake = False
+        elif task_left <= 0:
+            stats.completed += 1
+            stats.useful_energy += task_spent
+            task = None
+
+    return SchedulerRun(
+        scheduler_name=scheduler.name,
+        stats=stats,
+        duration=trace.duration,
+        monitor_energy=monitor_energy,
+    )
+
+
+def default_task_mix() -> List[Task]:
+    """A representative sensor-node task mix.
+
+    Sizes span an order of magnitude so the blind scheduler regularly
+    starts a transmit it cannot finish.
+    """
+    return [
+        Task("sample", current=120e-6, duration=0.05),
+        Task("filter", current=150e-6, duration=0.15),
+        Task("compress", current=200e-6, duration=0.4),
+        Task("transmit", current=900e-6, duration=0.5),
+    ]

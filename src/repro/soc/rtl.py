@@ -1,0 +1,71 @@
+"""Structural netlists of the Failure Sentinels digital blocks.
+
+Mirrors what the paper's Verilog adds to RocketChip: the ring itself,
+the edge counter, the digital threshold comparator, and the enable /
+bus-interface control.  (The analog pieces — divider and level shifter
+— do not exist on an FPGA; Section IV-B notes their absence slightly
+*increases* power, so the FPGA variant is conservative.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.soc.gates import GateKind, GateNetlist
+
+
+def build_ring(n_stages: int) -> GateNetlist:
+    """(n-1) inverters plus the NAND that closes the loop and gates the
+    enable (Figure 2)."""
+    if n_stages < 3 or n_stages % 2 == 0:
+        raise ConfigurationError(f"ring length {n_stages} must be odd and >= 3")
+    net = GateNetlist(f"ring{n_stages}")
+    net.add(GateKind.INV, n_stages - 1)
+    net.add(GateKind.NAND2, 1)
+    return net
+
+
+def build_counter(bits: int) -> GateNetlist:
+    """Ripple increment counter: per bit one DFF, an XOR for the sum and
+    an AND for the carry chain."""
+    if not 1 <= bits <= 64:
+        raise ConfigurationError(f"counter width {bits} out of range")
+    net = GateNetlist(f"counter{bits}")
+    net.add(GateKind.DFF, bits)
+    net.add(GateKind.XOR2, bits)
+    net.add(GateKind.AND2, bits)
+    return net
+
+
+def build_comparator(bits: int) -> GateNetlist:
+    """Magnitude comparator (count <= threshold): per-bit XNOR plus a
+    borrow chain of AND/OR pairs, and a threshold register."""
+    if not 1 <= bits <= 64:
+        raise ConfigurationError(f"comparator width {bits} out of range")
+    net = GateNetlist(f"comparator{bits}")
+    net.add(GateKind.XNOR2, bits)
+    net.add(GateKind.AND2, bits)
+    net.add(GateKind.OR2, bits)
+    net.add(GateKind.DFF, bits)  # threshold register
+    return net
+
+
+def build_control() -> GateNetlist:
+    """Enable sequencing and bus glue: a small FSM (3 state bits), the
+    sample-period divider tail, interrupt latch, and handshake gates."""
+    net = GateNetlist("control")
+    net.add(GateKind.DFF, 6)
+    net.add(GateKind.AND2, 6)
+    net.add(GateKind.OR2, 4)
+    net.add(GateKind.INV, 4)
+    net.add(GateKind.MUX2, 2)
+    return net
+
+
+def build_failure_sentinels(ro_length: int = 21, counter_bits: int = 8) -> GateNetlist:
+    """The digital portion of the monitor, as synthesized on the FPGA."""
+    net = GateNetlist(f"failure_sentinels_n{ro_length}_c{counter_bits}")
+    net.merge(build_ring(ro_length))
+    net.merge(build_counter(counter_bits))
+    net.merge(build_comparator(counter_bits))
+    net.merge(build_control())
+    return net

@@ -1,0 +1,47 @@
+"""A small nodal circuit simulator — the library's LTspice stand-in.
+
+The paper explores Failure Sentinels in LTspice with PTM device cards.
+This package provides the pieces of that flow the reproduction needs:
+
+* :mod:`repro.spice.netlist` — circuits, nodes, device registration;
+* :mod:`repro.spice.devices` — resistors, capacitors, sources, switches,
+  and an alpha-power-law MOSFET driven by a :class:`~repro.tech.ptm.TechnologyCard`;
+* :mod:`repro.spice.solver` — Newton DC operating point and backward-Euler
+  transient analysis;
+* :mod:`repro.spice.waveform` — waveform containers with the measurements
+  the experiments need (edge counting, frequency, averages).
+
+It is used to simulate the transistor-level parts of Failure Sentinels the
+FPGA cannot express: the diode-connected PMOS voltage divider (including
+its loading droop), device-level ring oscillators, and the level shifter.
+"""
+
+from repro.spice.netlist import Circuit, GROUND
+from repro.spice.devices import (
+    Resistor,
+    Capacitor,
+    CurrentSource,
+    VoltageSource,
+    Switch,
+    MOSFET,
+    DiodeConnectedMOSFET,
+)
+from repro.spice.solver import DCSolution, dc_operating_point, transient
+from repro.spice.waveform import Waveform, TransientResult
+
+__all__ = [
+    "Circuit",
+    "GROUND",
+    "Resistor",
+    "Capacitor",
+    "CurrentSource",
+    "VoltageSource",
+    "Switch",
+    "MOSFET",
+    "DiodeConnectedMOSFET",
+    "DCSolution",
+    "dc_operating_point",
+    "transient",
+    "Waveform",
+    "TransientResult",
+]

@@ -1,0 +1,232 @@
+"""Circuit elements for the nodal simulator.
+
+Sign convention: :meth:`~repro.spice.netlist.Device.currents` returns the
+current flowing *out of each terminal node into the device*.  A resistor
+between ``a`` and ``b`` with ``Va > Vb`` therefore reports a positive
+current at ``a`` and the negative of it at ``b``.
+
+The MOSFET uses the same alpha-power-law-with-mobility-degradation model
+as the analytic delay layer (:class:`repro.tech.ptm.TechnologyCard`), with
+a smooth tanh transition between the linear and saturation regions so the
+Newton solver converges reliably.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping
+
+from repro.errors import ConfigurationError
+from repro.spice.netlist import Device
+from repro.tech.ptm import TechnologyCard
+from repro.units import thermal_voltage, ROOM_TEMP_K
+
+
+class Resistor(Device):
+    """Linear resistor."""
+
+    def __init__(self, name: str, a: str, b: str, resistance: float):
+        if resistance <= 0:
+            raise ConfigurationError(f"{name}: resistance must be positive")
+        self.name = name
+        self.terminals = (a, b)
+        self.resistance = resistance
+
+    def currents(self, voltages: Mapping[str, float]) -> Dict[str, float]:
+        a, b = self.terminals
+        i = (voltages.get(a, 0.0) - voltages.get(b, 0.0)) / self.resistance
+        return {a: i, b: -i}
+
+
+class CurrentSource(Device):
+    """Constant current source pushing ``current`` from ``a`` to ``b``
+    through the device (i.e. it pulls current out of node ``a``)."""
+
+    def __init__(self, name: str, a: str, b: str, current: float):
+        self.name = name
+        self.terminals = (a, b)
+        self.current = current
+
+    def currents(self, voltages: Mapping[str, float]) -> Dict[str, float]:
+        a, b = self.terminals
+        return {a: self.current, b: -self.current}
+
+
+class VoltageSource(Device):
+    """Voltage source implemented as a stiff Norton equivalent.
+
+    Holds node ``pos`` at ``voltage`` above node ``neg`` through a large
+    internal conductance.  With microamp-scale circuit currents and the
+    default 10 S conductance the voltage error is sub-microvolt, which is
+    far below every tolerance in this library.
+
+    ``voltage`` is writable between transient steps, enabling piecewise
+    supply ramps (used by discharge experiments).
+    """
+
+    def __init__(self, name: str, pos: str, neg: str, voltage: float, conductance: float = 10.0):
+        if conductance <= 0:
+            raise ConfigurationError(f"{name}: conductance must be positive")
+        self.name = name
+        self.terminals = (pos, neg)
+        self.voltage = voltage
+        self.conductance = conductance
+
+    def currents(self, voltages: Mapping[str, float]) -> Dict[str, float]:
+        pos, neg = self.terminals
+        v = voltages.get(pos, 0.0) - voltages.get(neg, 0.0)
+        i = (v - self.voltage) * self.conductance
+        return {pos: i, neg: -i}
+
+    def through(self, voltages: Mapping[str, float]) -> float:
+        """Current delivered by the source into ``pos``'s external network."""
+        pos, neg = self.terminals
+        v = voltages.get(pos, 0.0) - voltages.get(neg, 0.0)
+        return (self.voltage - v) * self.conductance
+
+
+class Switch(Device):
+    """Voltage-independent on/off switch (models the enable NMOS foot)."""
+
+    def __init__(self, name: str, a: str, b: str, closed: bool = True, on_resistance: float = 1e3, off_resistance: float = 1e12):
+        self.name = name
+        self.terminals = (a, b)
+        self.closed = closed
+        self.on_resistance = on_resistance
+        self.off_resistance = off_resistance
+
+    def currents(self, voltages: Mapping[str, float]) -> Dict[str, float]:
+        a, b = self.terminals
+        r = self.on_resistance if self.closed else self.off_resistance
+        i = (voltages.get(a, 0.0) - voltages.get(b, 0.0)) / r
+        return {a: i, b: -i}
+
+
+class Capacitor(Device):
+    """Capacitor integrated with backward Euler.
+
+    During a transient step the capacitor behaves as a companion current
+    source ``I = C (V - V_prev) / dt``; in DC it carries no current.
+    """
+
+    def __init__(self, name: str, a: str, b: str, capacitance: float, initial_voltage: float = 0.0):
+        if capacitance <= 0:
+            raise ConfigurationError(f"{name}: capacitance must be positive")
+        self.name = name
+        self.terminals = (a, b)
+        self.capacitance = capacitance
+        self._v_prev = initial_voltage
+        self._dt = 0.0
+
+    def reset_state(self, voltages: Mapping[str, float]) -> None:
+        a, b = self.terminals
+        self._v_prev = voltages.get(a, 0.0) - voltages.get(b, 0.0)
+        self._dt = 0.0
+
+    def begin_step(self, dt: float) -> None:
+        self._dt = dt
+
+    def commit_step(self, voltages: Mapping[str, float]) -> None:
+        a, b = self.terminals
+        self._v_prev = voltages.get(a, 0.0) - voltages.get(b, 0.0)
+
+    def currents(self, voltages: Mapping[str, float]) -> Dict[str, float]:
+        a, b = self.terminals
+        if self._dt <= 0.0:
+            return {a: 0.0, b: 0.0}
+        v = voltages.get(a, 0.0) - voltages.get(b, 0.0)
+        i = self.capacitance * (v - self._v_prev) / self._dt
+        return {a: i, b: -i}
+
+    @property
+    def voltage(self) -> float:
+        """Voltage across the capacitor at the last committed step."""
+        return self._v_prev
+
+
+class MOSFET(Device):
+    """Alpha-power-law MOSFET with smooth linear/saturation transition.
+
+    Terminals are (drain, gate, source).  ``polarity`` is ``"n"`` or
+    ``"p"``.  Gate current is zero; drain current::
+
+        I_sat = (width / tech.c_switch) scaled drive at V_gs overdrive
+        I_d   = I_sat * tanh(V_ds / V_knee)
+
+    The drive strength reuses :meth:`TechnologyCard.drive_current` so the
+    device-level simulator and the analytic delay model share physics.
+    ``width`` is a relative multiplier on the unit device (used for the
+    widened divider transistors of Section III-F).
+    """
+
+    def __init__(self, name: str, drain: str, gate: str, source: str, tech: TechnologyCard, polarity: str = "n", width: float = 1.0, temp_k: float = ROOM_TEMP_K):
+        if polarity not in ("n", "p"):
+            raise ConfigurationError(f"{name}: polarity must be 'n' or 'p'")
+        if width <= 0:
+            raise ConfigurationError(f"{name}: width must be positive")
+        self.name = name
+        self.terminals = (drain, gate, source)
+        self.tech = tech
+        self.polarity = polarity
+        self.width = width
+        self.temp_k = temp_k
+
+    def _drain_current(self, v_gs: float, v_ds: float) -> float:
+        """Drain current for NMOS-normalized voltages."""
+        v_od = self.tech.soft_overdrive(v_gs, self.temp_k)
+        if v_od <= 0:
+            return 0.0
+        drive = v_od**self.tech.alpha / (1.0 + self.tech.theta * v_od)
+        drive *= self.tech.mobility_factor(self.temp_k)
+        i_sat = self.width * (self.tech.c_switch / self.tech.k_delay) * drive
+        v_knee = max(v_od, 4 * thermal_voltage(self.temp_k))
+        return i_sat * math.tanh(max(v_ds, 0.0) / v_knee)
+
+    def currents(self, voltages: Mapping[str, float]) -> Dict[str, float]:
+        d, g, s = self.terminals
+        vd = voltages.get(d, 0.0)
+        vg = voltages.get(g, 0.0)
+        vs = voltages.get(s, 0.0)
+        if self.polarity == "n":
+            v_gs, v_ds = vg - vs, vd - vs
+            sign = 1.0
+            # Handle reversed bias symmetrically (source/drain swap).
+            if v_ds < 0:
+                v_gs, v_ds, sign = vg - vd, vs - vd, -1.0
+            i = sign * self._drain_current(v_gs, v_ds)
+        else:
+            v_gs, v_ds = vs - vg, vs - vd
+            sign = 1.0
+            if v_ds < 0:
+                v_gs, v_ds, sign = vd - vg, vd - vs, -1.0
+            i = sign * self._drain_current(v_gs, v_ds)
+            i = -i  # PMOS conducts from source into drain node
+        # NMOS: positive i flows drain -> source inside the device, so it
+        # leaves node d and enters node s.  Accumulate rather than build a
+        # dict literal: in diode-connected use the gate shares a node with
+        # the drain and must not clobber its current.
+        out: Dict[str, float] = {}
+        for node, contribution in ((d, i), (g, 0.0), (s, -i)):
+            out[node] = out.get(node, 0.0) + contribution
+        return out
+
+
+class DiodeConnectedMOSFET(MOSFET):
+    """A MOSFET with gate tied to drain — one rung of the paper's
+    transistor voltage divider (Section III-F).
+
+    For PMOS rungs the gate ties to the *drain* (lower node), making
+    each device a two-terminal diode-ish element whose V_gs equals its
+    V_sd; the bulk-to-source tie the paper describes is implicit because
+    the model has no body effect.
+    """
+
+    def __init__(self, name: str, high: str, low: str, tech: TechnologyCard, polarity: str = "p", width: float = 1.0, temp_k: float = ROOM_TEMP_K):
+        if polarity == "p":
+            # source = high node, gate = drain = low node
+            super().__init__(name, low, low, high, tech, "p", width, temp_k)
+        else:
+            # NMOS diode: drain = gate = high node, source = low node
+            super().__init__(name, high, high, low, tech, "n", width, temp_k)
+        self.high = high
+        self.low = low

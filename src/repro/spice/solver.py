@@ -1,0 +1,196 @@
+"""Numerical solvers: Newton DC operating point and backward-Euler transient.
+
+The circuits this library simulates are small (a divider stack, a ring of
+a dozen inverters, a level shifter), so the solver favours robustness and
+clarity over asymptotic speed: residuals come straight from the devices'
+KCL contributions and the Jacobian is built by finite differences with a
+dense numpy solve.  Damped Newton with automatic source-stepping fallback
+handles the strongly nonlinear MOSFET stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.spice.netlist import Circuit, GROUND
+from repro.spice.devices import VoltageSource
+from repro.spice.waveform import TransientResult
+
+#: Default Newton tolerances: residual in amps, update in volts.
+RESIDUAL_TOL = 1e-9
+UPDATE_TOL = 1e-7
+MAX_ITERATIONS = 120
+JACOBIAN_EPS = 1e-6
+
+
+@dataclass
+class DCSolution:
+    """A converged operating point."""
+
+    voltages: Dict[str, float]
+    iterations: int
+
+    def __getitem__(self, node: str) -> float:
+        if node == GROUND:
+            return 0.0
+        return self.voltages[node]
+
+
+def _voltage_map(nodes: List[str], x: np.ndarray) -> Dict[str, float]:
+    volts = {GROUND: 0.0}
+    for i, node in enumerate(nodes):
+        volts[node] = float(x[i])
+    return volts
+
+
+def _residual_vector(circuit: Circuit, nodes: List[str], x: np.ndarray) -> np.ndarray:
+    res = circuit.residual(_voltage_map(nodes, x))
+    return np.array([res[n] for n in nodes])
+
+
+def _jacobian(circuit: Circuit, nodes: List[str], x: np.ndarray, f0: np.ndarray) -> np.ndarray:
+    n = len(nodes)
+    jac = np.zeros((n, n))
+    for j in range(n):
+        xp = x.copy()
+        xp[j] += JACOBIAN_EPS
+        fj = _residual_vector(circuit, nodes, xp)
+        jac[:, j] = (fj - f0) / JACOBIAN_EPS
+    return jac
+
+
+def _newton(circuit: Circuit, nodes: List[str], x0: np.ndarray, max_iter: int = MAX_ITERATIONS) -> Optional[np.ndarray]:
+    """Damped Newton iteration; returns the solution or None."""
+    x = x0.copy()
+    for iteration in range(max_iter):
+        f0 = _residual_vector(circuit, nodes, x)
+        if np.max(np.abs(f0)) < RESIDUAL_TOL:
+            return x
+        jac = _jacobian(circuit, nodes, x, f0)
+        try:
+            dx = np.linalg.solve(jac, -f0)
+        except np.linalg.LinAlgError:
+            jac += np.eye(len(nodes)) * 1e-12
+            try:
+                dx = np.linalg.solve(jac, -f0)
+            except np.linalg.LinAlgError:
+                return None
+        # Damping: limit per-iteration voltage movement to 0.5 V so the
+        # exponential subthreshold region cannot fling the iterate.
+        max_step = np.max(np.abs(dx))
+        if max_step > 0.5:
+            dx *= 0.5 / max_step
+        x = x + dx
+        if max_step < UPDATE_TOL and np.max(np.abs(f0)) < 1e2 * RESIDUAL_TOL:
+            return x
+    return None
+
+
+def dc_operating_point(circuit: Circuit, initial: Optional[Mapping[str, float]] = None) -> DCSolution:
+    """Solve the DC operating point with Newton + source stepping.
+
+    ``initial`` optionally seeds node voltages (e.g. from a previous
+    nearby solve, which dramatically speeds voltage sweeps).
+    """
+    circuit.validate()
+    nodes = circuit.nodes()
+    x0 = np.zeros(len(nodes))
+    if initial:
+        for i, node in enumerate(nodes):
+            x0[i] = initial.get(node, 0.0)
+
+    x = _newton(circuit, nodes, x0)
+    if x is None:
+        x = _source_stepping(circuit, nodes, x0)
+    if x is None:
+        raise ConvergenceError(f"DC solve failed for {circuit.title!r}")
+    return DCSolution(voltages=_voltage_map(nodes, x), iterations=0)
+
+
+def _source_stepping(circuit: Circuit, nodes: List[str], x0: np.ndarray) -> Optional[np.ndarray]:
+    """Ramp all voltage sources from 0 to full value in steps."""
+    sources = [d for d in circuit.devices if isinstance(d, VoltageSource)]
+    targets = [s.voltage for s in sources]
+    x = x0.copy()
+    try:
+        for frac in (0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
+            for src, tgt in zip(sources, targets):
+                src.voltage = tgt * frac
+            nxt = _newton(circuit, nodes, x)
+            if nxt is None:
+                return None
+            x = nxt
+        return x
+    finally:
+        for src, tgt in zip(sources, targets):
+            src.voltage = tgt
+
+
+def transient(
+    circuit: Circuit,
+    t_stop: float,
+    dt: float,
+    probes: Optional[Dict[str, Callable[[Mapping[str, float]], float]]] = None,
+    initial: Optional[Mapping[str, float]] = None,
+    on_step: Optional[Callable[[float, Mapping[str, float]], None]] = None,
+) -> TransientResult:
+    """Backward-Euler transient analysis.
+
+    Parameters
+    ----------
+    t_stop, dt:
+        Simulation horizon and fixed step size (s).
+    probes:
+        Optional named callables evaluated on the node-voltage map at
+        every accepted step (e.g. a source's delivered current).
+    initial:
+        Node voltages at t=0.  When omitted, a DC operating point is
+        computed first.  Pass explicit voltages to start an oscillator
+        out of equilibrium.
+    on_step:
+        Callback after each accepted step — used by enable-sequencing
+        helpers to toggle switches mid-run.
+    """
+    circuit.validate()
+    nodes = circuit.nodes()
+
+    if initial is None:
+        op = dc_operating_point(circuit)
+        volts = dict(op.voltages)
+    else:
+        volts = {GROUND: 0.0}
+        for node in nodes:
+            volts[node] = float(initial.get(node, 0.0))
+
+    for dev in circuit.devices:
+        dev.reset_state(volts)
+
+    result = TransientResult()
+    x = np.array([volts[n] for n in nodes])
+    t = 0.0
+    probes = probes or {}
+    result.record(t, _voltage_map(nodes, x), {k: f(_voltage_map(nodes, x)) for k, f in probes.items()})
+
+    steps = int(round(t_stop / dt))
+    for _ in range(steps):
+        t += dt
+        for dev in circuit.devices:
+            dev.begin_step(dt)
+        nxt = _newton(circuit, nodes, x)
+        if nxt is None:
+            # Retry once from a flat start before giving up.
+            nxt = _newton(circuit, nodes, np.zeros(len(nodes)))
+            if nxt is None:
+                raise ConvergenceError(f"transient step at t={t:.3e}s failed for {circuit.title!r}")
+        x = nxt
+        vmap = _voltage_map(nodes, x)
+        for dev in circuit.devices:
+            dev.commit_step(vmap)
+        result.record(t, vmap, {k: f(vmap) for k, f in probes.items()})
+        if on_step is not None:
+            on_step(t, vmap)
+    return result

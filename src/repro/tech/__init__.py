@@ -1,0 +1,31 @@
+"""Technology modelling: PTM-inspired node cards, temperature, variation.
+
+This package plays the role of the Predictive Technology Model SPICE cards
+the paper uses: it provides per-node device parameters consumed by the
+circuit simulator (:mod:`repro.spice`) and the analytic delay models
+(:mod:`repro.analog`).
+"""
+
+from repro.tech.ptm import (
+    TechnologyCard,
+    TECH_130NM,
+    TECH_90NM,
+    TECH_65NM,
+    ALL_NODES,
+    get_technology,
+)
+from repro.tech.temperature import TemperatureModel, FPGATemperatureModel
+from repro.tech.variation import ProcessVariation, VariedTechnology
+
+__all__ = [
+    "TechnologyCard",
+    "TECH_130NM",
+    "TECH_90NM",
+    "TECH_65NM",
+    "ALL_NODES",
+    "get_technology",
+    "TemperatureModel",
+    "FPGATemperatureModel",
+    "ProcessVariation",
+    "VariedTechnology",
+]

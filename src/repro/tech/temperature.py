@@ -1,0 +1,148 @@
+"""Temperature effects on gate delay and ring-oscillator frequency.
+
+The paper (Section V-C, Figure 7) measures RO frequency on an Artix-7 FPGA
+in a temperature chamber from 25 C to 75 C and finds at most ~1% frequency
+change, which it doubles to a conservative 2% error bound used throughout
+the design-space exploration.
+
+Two models live here:
+
+* :class:`TemperatureModel` — the physical story: rising temperature
+  degrades carrier mobility (slower gates) but also lowers the threshold
+  voltage (faster gates).  Near the RO's divided operating point these
+  effects largely cancel, which is *why* the measured sensitivity is so
+  small.  The model exposes both effects separately so tests can check the
+  cancellation.
+* :class:`FPGATemperatureModel` — an empirical stand-in for the paper's
+  chamber measurements: a small, smooth per-size deviation curve used to
+  regenerate Figure 7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tech.ptm import TechnologyCard
+from repro.units import celsius_to_kelvin
+
+#: The conservative worst-case thermal frequency error the paper adopts
+#: after doubling the ~1% measured maximum (Section V-C).
+DESIGN_THERMAL_ERROR_FRACTION = 0.02
+
+#: Temperature range of the paper's chamber experiments, Celsius.
+CHAMBER_MIN_C = 25.0
+CHAMBER_MAX_C = 75.0
+
+
+@dataclass(frozen=True)
+class TemperatureModel:
+    """Physical temperature model layered on a technology card.
+
+    ``frequency_ratio`` answers: by what factor does RO frequency at
+    ``temp_c`` differ from its value at the reference temperature, at the
+    given ring supply voltage?
+    """
+
+    tech: TechnologyCard
+
+    def delay_at(self, vdd: float, temp_c: float) -> float:
+        """Gate delay at ``vdd`` and ``temp_c`` (s)."""
+        return self.tech.gate_delay(vdd, celsius_to_kelvin(temp_c))
+
+    def frequency_ratio(self, vdd: float, temp_c: float) -> float:
+        """f(T) / f(T_ref) for a ring supplied at ``vdd``.
+
+        Independent of ring length: frequency is ``1/(2 n tau_d)``, so the
+        length cancels in the ratio — matching the paper's observation
+        that temperature-induced changes are similar across RO sizes.
+        """
+        ref_c = self.tech.ref_temp_k - 273.15
+        tau_ref = self.delay_at(vdd, ref_c)
+        tau = self.delay_at(vdd, temp_c)
+        if math.isinf(tau) or math.isinf(tau_ref):
+            return 0.0
+        return tau_ref / tau
+
+    def max_deviation(self, vdd: float, lo_c: float = CHAMBER_MIN_C, hi_c: float = CHAMBER_MAX_C, steps: int = 51) -> float:
+        """Largest relative frequency change between any two temperatures.
+
+        Mirrors the paper's definition: "the largest frequency change
+        between any two frequencies" across the chamber sweep.
+        """
+        if steps < 2:
+            raise ConfigurationError("need at least two temperature points")
+        ratios = [
+            self.frequency_ratio(vdd, lo_c + i * (hi_c - lo_c) / (steps - 1))
+            for i in range(steps)
+        ]
+        return (max(ratios) - min(ratios)) / min(ratios)
+
+    def mobility_only_ratio(self, temp_c: float) -> float:
+        """Frequency ratio if only mobility degradation acted."""
+        return self.tech.mobility_factor(celsius_to_kelvin(temp_c))
+
+    def vth_shift(self, temp_c: float) -> float:
+        """Threshold-voltage reduction relative to the reference (V)."""
+        dt = celsius_to_kelvin(temp_c) - self.tech.ref_temp_k
+        return self.tech.vth_temp_coeff * dt
+
+
+@dataclass(frozen=True)
+class FPGATemperatureModel:
+    """Empirical stand-in for the Artix-7 chamber measurements (Figure 7).
+
+    Models the measured relative frequency deviation as a gentle,
+    near-linear droop with temperature whose magnitude stays under
+    ``max_total_deviation`` across the chamber range, with a small
+    deterministic per-size ripple (different routing per RO size on the
+    FPGA fabric perturbs the curve slightly).
+
+    Parameters
+    ----------
+    max_total_deviation:
+        Peak-to-peak relative deviation across the sweep (paper: ~1%).
+    curvature:
+        Fraction of the deviation allocated to a quadratic term.
+    """
+
+    max_total_deviation: float = 0.010
+    curvature: float = 0.25
+
+    def deviation(self, temp_c: float, ro_length: int = 21) -> float:
+        """Relative frequency deviation from the 25 C baseline.
+
+        Deterministic in (temperature, ro_length) so experiments are
+        reproducible; the per-length ripple is bounded by 10% of the
+        total deviation.
+        """
+        if not CHAMBER_MIN_C <= temp_c <= CHAMBER_MAX_C + 1e-9:
+            raise ConfigurationError(
+                f"temperature {temp_c} C outside chamber range "
+                f"[{CHAMBER_MIN_C}, {CHAMBER_MAX_C}]"
+            )
+        span = CHAMBER_MAX_C - CHAMBER_MIN_C
+        x = (temp_c - CHAMBER_MIN_C) / span
+        base = -self.max_total_deviation * ((1 - self.curvature) * x + self.curvature * x * x)
+        # Deterministic per-size ripple standing in for routing differences.
+        ripple_scale = 0.10 * self.max_total_deviation
+        ripple = ripple_scale * math.sin(ro_length * 0.7 + 3.0 * x) * x
+        return base + ripple
+
+    def frequency_ratio(self, temp_c: float, ro_length: int = 21) -> float:
+        """f(T) / f(25 C) for the given ring size."""
+        return 1.0 + self.deviation(temp_c, ro_length)
+
+    def max_deviation(self, ro_length: int = 21, steps: int = 51) -> float:
+        """Largest relative change between any two sweep temperatures."""
+        ratios = [
+            self.frequency_ratio(CHAMBER_MIN_C + i * (CHAMBER_MAX_C - CHAMBER_MIN_C) / (steps - 1), ro_length)
+            for i in range(steps)
+        ]
+        return (max(ratios) - min(ratios)) / min(ratios)
+
+
+def design_thermal_error_fraction() -> float:
+    """The 2% worst-case thermal error bound used by the DSE."""
+    return DESIGN_THERMAL_ERROR_FRACTION

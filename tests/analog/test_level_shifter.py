@@ -1,0 +1,59 @@
+"""Level shifter: tracking limits and power."""
+
+import pytest
+
+from repro.analog import LevelShifter, RingOscillator, VoltageDivider
+from repro.errors import ConfigurationError
+from repro.tech import TECH_90NM
+from repro.units import frange
+
+
+class TestTracking:
+    def test_max_frequency_positive(self, tech):
+        ls = LevelShifter(tech)
+        assert ls.max_input_frequency(1.8) > 1e6
+
+    def test_max_frequency_grows_with_core_voltage(self, tech):
+        # Compare within the rising region (below the delay minimum,
+        # which sits near 2.3-3.1 V depending on node).
+        ls = LevelShifter(tech)
+        assert ls.max_input_frequency(2.0) > ls.max_input_frequency(1.0)
+
+    def test_can_follow_boundary(self):
+        ls = LevelShifter(TECH_90NM)
+        fmax = ls.max_input_frequency(1.8)
+        assert ls.can_follow(fmax * 0.99, 1.8)
+        assert not ls.can_follow(fmax * 1.01, 1.8)
+
+    def test_paper_property_ro_below_shifter_max(self):
+        """Section V-C: RO frequency is always well below the level
+        shifter's maximum — for the divided ring this must hold over
+        the whole supply range."""
+        ls = LevelShifter(TECH_90NM)
+        ro = RingOscillator(TECH_90NM, 7)  # fastest sensible ring
+        div = VoltageDivider(TECH_90NM)
+        for v in frange(1.8, 3.6, 0.1):
+            f_ro = ro.frequency(div.nominal_output(v))
+            assert ls.can_follow(f_ro, v_core=1.8)
+
+
+class TestPower:
+    def test_dynamic_current_linear_in_frequency(self):
+        ls = LevelShifter(TECH_90NM)
+        assert ls.dynamic_current(2e7, 3.0) == pytest.approx(2 * ls.dynamic_current(1e7, 3.0))
+
+    def test_zero_frequency_zero_dynamic(self):
+        assert LevelShifter(TECH_90NM).dynamic_current(0.0, 3.0) == 0.0
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LevelShifter(TECH_90NM).dynamic_current(-1.0, 3.0)
+
+    def test_leakage_and_transistors(self):
+        ls = LevelShifter(TECH_90NM)
+        assert ls.leakage_current() > 0
+        assert ls.transistor_count() == 10
+
+    def test_bad_cap_factor(self):
+        with pytest.raises(ConfigurationError):
+            LevelShifter(TECH_90NM, cap_factor=0.0)

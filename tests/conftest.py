@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FailureSentinels, FSConfig
+from repro.tech import TECH_130NM, TECH_90NM, TECH_65NM
+from repro.units import kilo, micro
+
+
+@pytest.fixture(params=["130nm", "90nm", "65nm"])
+def tech(request):
+    """Parametrize a test over all three technology nodes."""
+    return {"130nm": TECH_130NM, "90nm": TECH_90NM, "65nm": TECH_65NM}[request.param]
+
+
+@pytest.fixture
+def tech90():
+    return TECH_90NM
+
+
+@pytest.fixture
+def standard_config():
+    """A mid-range, known-realizable monitor configuration."""
+    return FSConfig(
+        tech=TECH_90NM,
+        ro_length=7,
+        counter_bits=8,
+        t_enable=micro(2),
+        f_sample=kilo(5),
+        nvm_entries=49,
+        entry_bits=8,
+    )
+
+
+@pytest.fixture
+def enrolled_monitor(standard_config):
+    fs = FailureSentinels(standard_config)
+    fs.enroll()
+    return fs

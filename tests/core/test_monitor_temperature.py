@@ -1,0 +1,133 @@
+"""End-to-end temperature behaviour of the monitor.
+
+These tests pin a *finding* of the reproduction rather than a paper
+claim: the paper's 2% thermal bound comes from FPGA rings running at
+the full core voltage, but Failure Sentinels operates its ring at the
+divided point (V_ro ~ 0.6-1.2 V) where the transistor overdrive is
+small and the physical temperature sensitivity is several times larger.
+EXPERIMENTS.md discusses the gap; here we assert the model's measured
+behaviour so any re-calibration is visible.
+"""
+
+import pytest
+
+from repro.core import FailureSentinels, FSConfig
+from repro.tech import TECH_90NM
+from repro.units import celsius_to_kelvin
+
+
+@pytest.fixture(scope="module")
+def monitor():
+    fs = FailureSentinels(
+        FSConfig(tech=TECH_90NM, ro_length=7, counter_bits=10, t_enable=4e-6, f_sample=5e3)
+    )
+    fs.enroll()
+    return fs
+
+
+def max_read_error(fs, temp_c):
+    tk = celsius_to_kelvin(temp_c)
+    return max(
+        abs(fs.read_voltage(fs.count_at(v, temp_k=tk)) - v)
+        for v in (1.9, 2.4, 3.0, 3.4)
+    )
+
+
+class TestTemperatureBehaviour:
+    def test_room_temperature_within_budget(self, monitor):
+        assert max_read_error(monitor, 25.0) <= monitor.error_budget().total
+
+    def test_error_grows_with_temperature(self, monitor):
+        errors = [max_read_error(monitor, t) for t in (25.0, 35.0, 50.0, 75.0)]
+        assert all(a <= b + 1e-3 for a, b in zip(errors, errors[1:]))
+
+    def test_small_excursions_near_budget(self, monitor):
+        """Within a few degrees of the enrollment temperature the error
+        stays in the neighbourhood of the budgeted thermal term."""
+        budget = monitor.error_budget()
+        assert max_read_error(monitor, 30.0) < 2.0 * budget.total
+
+    def test_divided_point_exceeds_fpga_bound_at_chamber_extreme(self, monitor):
+        """The reproduction finding: at 75 C the divided ring's error is
+        far beyond what the paper's full-supply 2% bound predicts.
+        If a re-calibration fixes this, EXPERIMENTS.md's discussion
+        should be updated too."""
+        budget = monitor.error_budget()
+        assert max_read_error(monitor, 75.0) > 2.0 * budget.total
+
+    def test_warm_reads_are_conservative(self, monitor):
+        """Heat speeds the ring up at the divided point (the Vth term
+        wins), so counts rise and software *over-reads* the voltage...
+        unless the mobility term wins.  Pin the direction so the
+        checkpoint-margin implications stay visible."""
+        v = 2.0
+        cold = monitor.count_at(v, temp_k=celsius_to_kelvin(25.0))
+        hot = monitor.count_at(v, temp_k=celsius_to_kelvin(75.0))
+        assert hot > cold  # Vth reduction dominates at low overdrive
+
+
+class TestCompensatedEnrollment:
+    """Multi-temperature enrollment: the mitigation for the finding."""
+
+    @pytest.fixture(scope="class")
+    def compensated(self):
+        fs = FailureSentinels(
+            FSConfig(tech=TECH_90NM, ro_length=7, counter_bits=10,
+                     t_enable=4e-6, f_sample=5e3)
+        )
+        fs.enroll()
+        fs.enroll_compensated(temperatures_c=(25.0, 50.0, 75.0))
+        return fs
+
+    def max_compensated_error(self, fs, temp_c):
+        tk = celsius_to_kelvin(temp_c)
+        return max(
+            abs(fs.read_voltage_at(fs.count_at(v, temp_k=tk), temp_c) - v)
+            for v in (1.9, 2.4, 3.0, 3.4)
+        )
+
+    @pytest.mark.parametrize("temp_c", [25.0, 37.0, 50.0, 62.0, 75.0])
+    def test_error_within_budget_across_chamber(self, compensated, temp_c):
+        budget = compensated.error_budget()
+        assert self.max_compensated_error(compensated, temp_c) < budget.total
+
+    def test_beats_plain_enrollment_when_hot(self, compensated):
+        plain = max_read_error(compensated, 60.0)
+        comp = self.max_compensated_error(compensated, 60.0)
+        assert comp < 0.2 * plain
+
+    def test_extrapolation_clamps(self, compensated):
+        # Outside the characterized range, use the nearest table —
+        # degraded but defined behaviour.
+        count = compensated.count_at(2.4, temp_k=celsius_to_kelvin(25.0))
+        assert compensated.read_voltage_at(count, 10.0) == pytest.approx(
+            compensated.read_voltage_at(count, 25.0)
+        )
+
+    def test_nvm_cost_scales_with_temperatures(self, compensated):
+        table = compensated.compensated_table
+        single = compensated.table
+        assert table.nvm_bytes() == pytest.approx(3 * single.nvm_bytes())
+
+    def test_lookup_cost_higher(self, compensated):
+        assert compensated.compensated_table.lookup_cost_ops() > compensated.table.lookup_cost_ops()
+
+    def test_needs_two_temperatures(self):
+        from repro.errors import CalibrationError
+
+        fs = FailureSentinels(
+            FSConfig(tech=TECH_90NM, ro_length=7, counter_bits=10,
+                     t_enable=4e-6, f_sample=5e3)
+        )
+        with pytest.raises(CalibrationError):
+            fs.enroll_compensated(temperatures_c=(25.0,))
+
+    def test_read_before_compensated_enroll_raises(self):
+        from repro.errors import CalibrationError
+
+        fs = FailureSentinels(
+            FSConfig(tech=TECH_90NM, ro_length=7, counter_bits=10,
+                     t_enable=4e-6, f_sample=5e3)
+        )
+        with pytest.raises(CalibrationError, match="compensated"):
+            fs.read_voltage_at(10, 30.0)

@@ -1,0 +1,79 @@
+"""NSGA-II: mechanics and end-to-end optimization quality."""
+
+import pytest
+
+from repro.dse import DesignSpace, NSGA2, PerformanceModel, dominates, grid_explore
+from repro.errors import ConfigurationError
+from repro.tech import TECH_90NM
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerformanceModel(DesignSpace(TECH_90NM))
+
+
+@pytest.fixture(scope="module")
+def result(model):
+    return NSGA2(model, population_size=60, generations=30, seed=7).run()
+
+
+class TestConfiguration:
+    def test_odd_population_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            NSGA2(model, population_size=41)
+
+    def test_tiny_population_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            NSGA2(model, population_size=2)
+
+    def test_zero_generations_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            NSGA2(model, generations=0)
+
+
+class TestRun:
+    def test_population_size_maintained(self, result):
+        assert len(result.evaluations) == 60
+        assert len(result.genomes) == 60
+
+    def test_evaluation_accounting(self, result):
+        # Initial population + one offspring batch per generation.
+        assert result.evaluated_total == 60 * (1 + 30)
+
+    def test_final_population_mostly_feasible(self, result):
+        feasible = sum(1 for e in result.evaluations if e.feasible)
+        assert feasible > 45
+
+    def test_pareto_is_nondominated(self, result):
+        front = result.pareto()
+        assert front
+        objs = [e.objectives() for e in front]
+        for i, a in enumerate(objs):
+            assert not any(dominates(b, a) for j, b in enumerate(objs) if i != j)
+
+    def test_deterministic_in_seed(self, model):
+        a = NSGA2(model, population_size=8, generations=3, seed=5).run()
+        b = NSGA2(model, population_size=8, generations=3, seed=5).run()
+        assert [e.objectives() for e in a.evaluations] == [e.objectives() for e in b.evaluations]
+
+    def test_different_seeds_differ(self, model):
+        a = NSGA2(model, population_size=8, generations=3, seed=5).run()
+        b = NSGA2(model, population_size=8, generations=3, seed=6).run()
+        assert [e.objectives() for e in a.evaluations] != [e.objectives() for e in b.evaluations]
+
+
+class TestOptimizationQuality:
+    def test_front_reaches_near_grid_extremes(self, model, result):
+        """NSGA-II must find solutions comparable to exhaustive search
+        at the corners of the space."""
+        grid = grid_explore(model)
+        grid_best_current = min(e.mean_current for e in grid.pareto)
+        grid_best_gran = min(e.granularity for e in grid.pareto)
+        front = result.pareto()
+        nsga_best_current = min(e.mean_current for e in front)
+        nsga_best_gran = min(e.granularity for e in front)
+        # Corner coverage in a 5-objective space is hard for a
+        # 60-member population: require the same order of magnitude on
+        # current and near-parity on granularity.
+        assert nsga_best_current < 8 * grid_best_current
+        assert nsga_best_gran < 1.4 * grid_best_gran

@@ -1,0 +1,94 @@
+"""The analytic performance model and rejection filter."""
+
+import math
+
+import pytest
+
+from repro.core import FailureSentinels
+from repro.dse import DesignSpace, PerformanceModel
+from repro.dse.space import DesignPoint
+from repro.tech import TECH_90NM
+
+
+@pytest.fixture
+def model():
+    return PerformanceModel(DesignSpace(TECH_90NM))
+
+
+GOOD = DesignPoint(ro_length=7, f_sample=5e3, counter_bits=10,
+                   t_enable=2e-6, nvm_entries=49, entry_bits=8)
+
+
+class TestEvaluation:
+    def test_good_point_feasible(self, model):
+        e = model.evaluate(GOOD)
+        assert e.feasible, e.reject_reason
+        assert 0 < e.mean_current < 5e-6
+        assert 0 < e.granularity < 50e-3
+        assert e.transistor_count > 0
+
+    def test_objectives_vector_minimization(self, model):
+        e = model.evaluate(GOOD)
+        objs = e.objectives()
+        assert len(objs) == 5
+        assert objs[1] == -e.f_sample  # frequency negated for minimization
+
+    def test_matches_monitor_model(self, model):
+        """The DSE's fast path must agree with the full monitor."""
+        e = model.evaluate(GOOD)
+        cfg = model.to_config(GOOD)
+        fs = FailureSentinels(cfg)
+        assert e.granularity == pytest.approx(fs.resolution_volts(), rel=0.05)
+        # Mean current: the DSE averages over supply; compare mid-supply.
+        assert e.mean_current == pytest.approx(fs.mean_current(2.7), rel=0.35)
+
+    def test_physics_cache_reused(self, model):
+        model.evaluate(GOOD)
+        assert 7 in model._physics
+        # Second evaluation with same length reuses the entry.
+        before = model._physics[7]
+        model.evaluate(DesignPoint(7, 1e3, 12, 4e-6, 16, 8))
+        assert model._physics[7] is before
+
+
+class TestRejection:
+    def test_counter_overflow(self, model):
+        e = model.evaluate(DesignPoint(7, 5e3, 4, 20e-6, 49, 8))
+        assert not e.feasible
+        assert "overflow" in e.reject_reason
+
+    def test_duty_cycle_over_one(self, model):
+        e = model.evaluate(DesignPoint(7, 10e3, 16, 1e-3, 49, 8))
+        assert not e.feasible
+        assert "duty" in e.reject_reason
+
+    def test_nvm_bound(self, model):
+        e = model.evaluate(DesignPoint(7, 5e3, 12, 2e-6, 128, 16))
+        assert not e.feasible
+        assert "NVM" in e.reject_reason
+
+    def test_granularity_bound(self, model):
+        # 1 us enable + long ring: quantization alone blows 50 mV.
+        e = model.evaluate(DesignPoint(73, 1e3, 16, 1e-6, 64, 8))
+        assert not e.feasible
+        assert "granularity" in e.reject_reason
+
+    def test_infeasible_objectives_are_infinite(self, model):
+        e = model.evaluate(DesignPoint(7, 5e3, 4, 20e-6, 49, 8))
+        assert math.isinf(e.objectives()[0]) or math.isinf(e.objectives()[2])
+
+
+class TestScalingTrends:
+    def test_longer_enable_finer_but_hungrier(self, model):
+        fast = model.evaluate(DesignPoint(7, 5e3, 12, 2e-6, 49, 10))
+        slow = model.evaluate(DesignPoint(7, 5e3, 12, 20e-6, 49, 10))
+        assert slow.granularity < fast.granularity
+        assert slow.mean_current > fast.mean_current
+
+    def test_sampling_rate_drives_current(self, model):
+        """Section V-A: sampling frequency is the primary driver of
+        current consumption."""
+        lo = model.evaluate(DesignPoint(7, 1e3, 12, 4e-6, 49, 10))
+        hi = model.evaluate(DesignPoint(7, 10e3, 12, 4e-6, 49, 10))
+        assert hi.mean_current > 5 * lo.mean_current
+        assert hi.granularity == pytest.approx(lo.granularity)

@@ -1,0 +1,90 @@
+"""Dominance, non-dominated sorting, crowding distance."""
+
+import math
+
+import pytest
+
+from repro.dse import crowding_distance, dominates, non_dominated_sort, pareto_front
+from repro.errors import ConfigurationError
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates((1, 1), (2, 2))
+
+    def test_partial_improvement_dominates(self):
+        assert dominates((1, 2), (2, 2))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1, 1), (1, 1))
+
+    def test_tradeoff_neither_dominates(self):
+        assert not dominates((1, 2), (2, 1))
+        assert not dominates((2, 1), (1, 2))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            dominates((1,), (1, 2))
+
+
+class TestNonDominatedSort:
+    def test_layered_fronts(self):
+        objs = [(1, 1), (2, 2), (3, 3), (1, 3), (3, 1)]
+        fronts = non_dominated_sort(objs)
+        assert set(fronts[0]) == {0}
+        assert set(fronts[1]) == {1, 3, 4}
+        assert set(fronts[2]) == {2}
+
+    def test_all_nondominated(self):
+        objs = [(1, 3), (2, 2), (3, 1)]
+        fronts = non_dominated_sort(objs)
+        assert len(fronts) == 1
+        assert set(fronts[0]) == {0, 1, 2}
+
+    def test_every_index_in_exactly_one_front(self):
+        objs = [(i % 4, (i * 7) % 5, (i * 3) % 6) for i in range(30)]
+        fronts = non_dominated_sort(objs)
+        seen = [i for front in fronts for i in front]
+        assert sorted(seen) == list(range(30))
+
+    def test_front_members_mutually_nondominated(self):
+        objs = [(i % 4, (i * 7) % 5) for i in range(20)]
+        for front in non_dominated_sort(objs):
+            for a in front:
+                for b in front:
+                    if a != b:
+                        assert not dominates(objs[a], objs[b])
+
+
+class TestCrowding:
+    def test_boundaries_infinite(self):
+        objs = [(1, 3), (2, 2), (3, 1)]
+        dist = crowding_distance(objs, [0, 1, 2])
+        assert math.isinf(dist[0])
+        assert math.isinf(dist[2])
+        assert math.isfinite(dist[1])
+
+    def test_small_front_all_infinite(self):
+        objs = [(1, 1), (2, 2)]
+        dist = crowding_distance(objs, [0, 1])
+        assert all(math.isinf(d) for d in dist.values())
+
+    def test_denser_point_smaller_distance(self):
+        # Points at x = 0, 1, 1.1, 5: x=1.0 has the closest neighbours
+        # (0 and 1.1 -> gap 1.1), x=1.1 sees 1.0 and 5 -> gap 4.0.
+        objs = [(0.0, 0.0), (1.0, 0.0), (1.1, 0.0), (5.0, 0.0)]
+        dist = crowding_distance(objs, [0, 1, 2, 3])
+        assert dist[1] < dist[2]
+
+
+class TestParetoFront:
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_single(self):
+        assert pareto_front([(1, 2)]) == [0]
+
+    def test_filters_dominated(self):
+        objs = [(1, 1), (0.5, 2), (2, 0.5), (3, 3)]
+        front = set(pareto_front(objs))
+        assert front == {0, 1, 2}

@@ -1,0 +1,114 @@
+"""The comparator device: ISS-level Hibernus baseline."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harvest.traces import constant_trace
+from repro.riscv import IntermittentMachine, assemble
+from repro.riscv.comparator_device import ComparatorDevice
+from repro.riscv.fs_device import FSDevice
+
+WORKLOAD = """
+    li   s0, 0
+    li   s1, 300
+    li   s2, 0
+outer:
+    li   t0, 0x80001000
+    li   t1, 200
+inner:
+    lw   t2, 0(t0)
+    add  s2, s2, t2
+    addi s2, s2, 7
+    sw   s2, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, inner
+    addi s0, s0, 1
+    blt  s0, s1, outer
+    mv   a0, s2
+    ecall
+"""
+
+
+class TestDeviceBehaviour:
+    def test_threshold_quantized_upward(self):
+        device = ComparatorDevice(threshold_v=1.88)
+        assert device.threshold_v >= 1.88
+
+    def test_irq_at_threshold(self):
+        device = ComparatorDevice(threshold_v=1.9)
+        device.insn_fsen(0)
+        device.set_supply(2.5)
+        device.sample()
+        assert not device.irq_pending
+        device.set_supply(device.threshold_v - 0.01)
+        device.sample()
+        assert device.irq_pending
+
+    def test_single_bit_read(self):
+        device = ComparatorDevice(threshold_v=1.9)
+        device.insn_fsen(0)
+        device.set_supply(3.0)
+        assert device.insn_fsread() == 0
+        device.set_supply(1.8)
+        assert device.insn_fsread() == 1
+
+    def test_fixed_threshold_rejects_retune(self):
+        device = ComparatorDevice(threshold_v=1.9)
+        with pytest.raises(ConfigurationError, match="fixed"):
+            device.threshold_for_voltage(2.4)
+        # Close enough (within the ladder step) is accepted.
+        device.threshold_for_voltage(device.threshold_v)
+
+    def test_continuous_current_matches_comparator(self):
+        device = ComparatorDevice()
+        assert device.monitor.mean_current(3.0) == pytest.approx(35e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ComparatorDevice(threshold_v=0.0)
+        with pytest.raises(ConfigurationError):
+            ComparatorDevice(effective_sample_period=0.0)
+
+
+class TestHibernusStyleMachine:
+    """A comparator-driven JIT machine completes correctly but burns
+    more of the budget on monitoring than Failure Sentinels."""
+
+    @pytest.fixture(scope="class")
+    def program(self):
+        return assemble(WORKLOAD)
+
+    @pytest.fixture(scope="class")
+    def reference(self, program):
+        return IntermittentMachine(program).run_continuous()
+
+    def test_completes_correctly(self, program, reference):
+        device = ComparatorDevice(threshold_v=1.9)
+        machine = IntermittentMachine(
+            program, fs_device=device, capacitance=10e-6,
+            v_threshold=device.threshold_v,
+        )
+        result = machine.run(constant_trace(1.0, 7200.0), max_wall_time=7200.0)
+        assert result.completed, result.summary()
+        assert result.exit_code == reference.exit_code
+        assert result.power_failures == 0
+
+    def test_burns_more_current_than_fs(self, program):
+        comparator_machine = IntermittentMachine(
+            program, fs_device=ComparatorDevice(threshold_v=1.9), capacitance=10e-6,
+        )
+        fs_machine = IntermittentMachine(program, capacitance=10e-6)
+        assert comparator_machine.run_current > fs_machine.run_current + 30e-6
+
+    def test_takes_longer_wall_clock_than_fs(self, program):
+        """More monitor draw means less charge per cycle goes to code:
+        the comparator machine needs more wall-clock time under the
+        same light."""
+        trace = constant_trace(1.0, 7200.0)
+        comp = IntermittentMachine(
+            program, fs_device=ComparatorDevice(threshold_v=1.9), capacitance=10e-6,
+        ).run(trace, max_wall_time=7200.0)
+        fs = IntermittentMachine(program, capacitance=10e-6).run(trace, max_wall_time=7200.0)
+        assert comp.completed and fs.completed
+        assert comp.wall_time > fs.wall_time

@@ -1,0 +1,120 @@
+"""Instruction encode/decode round trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IllegalInstructionError
+from repro.riscv.encoding import (
+    OP_CUSTOM0,
+    decode,
+    encode_b,
+    encode_i,
+    encode_j,
+    encode_r,
+    encode_s,
+    encode_u,
+    sign_extend,
+    to_s32,
+    to_u32,
+    OP_BRANCH,
+    OP_IMM,
+    OP_JAL,
+    OP_LOAD,
+    OP_LUI,
+    OP_REG,
+    OP_STORE,
+    REGISTER_NUMBERS,
+)
+
+
+class TestSignExtension:
+    def test_positive(self):
+        assert sign_extend(0x7FF, 12) == 2047
+
+    def test_negative(self):
+        assert sign_extend(0xFFF, 12) == -1
+        assert sign_extend(0x800, 12) == -2048
+
+    def test_to_u32_s32_roundtrip(self):
+        assert to_s32(to_u32(-5)) == -5
+        assert to_u32(-1) == 0xFFFFFFFF
+
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_sign_extend_identity_in_range(self, x):
+        assert sign_extend(x & 0xFFF, 12) == x
+
+
+class TestRegisterNames:
+    def test_abi_and_x_names_agree(self):
+        assert REGISTER_NUMBERS["a0"] == REGISTER_NUMBERS["x10"] == 10
+        assert REGISTER_NUMBERS["sp"] == 2
+        assert REGISTER_NUMBERS["fp"] == REGISTER_NUMBERS["s0"] == 8
+
+
+class TestRoundTrips:
+    def test_lui(self):
+        d = decode(encode_u(OP_LUI, 5, 0x12345000))
+        assert d.mnemonic == "lui" and d.rd == 5 and d.imm == 0x12345000
+
+    def test_addi_negative(self):
+        d = decode(encode_i(OP_IMM, 3, 0, 4, -42))
+        assert (d.mnemonic, d.rd, d.rs1, d.imm) == ("addi", 3, 4, -42)
+
+    def test_add(self):
+        d = decode(encode_r(OP_REG, 1, 0, 2, 3, 0))
+        assert (d.mnemonic, d.rd, d.rs1, d.rs2) == ("add", 1, 2, 3)
+
+    def test_mul(self):
+        d = decode(encode_r(OP_REG, 1, 0, 2, 3, 1))
+        assert d.mnemonic == "mul"
+
+    def test_load_store(self):
+        d = decode(encode_i(OP_LOAD, 7, 2, 8, 100))
+        assert (d.mnemonic, d.rd, d.rs1, d.imm) == ("lw", 7, 8, 100)
+        d = decode(encode_s(OP_STORE, 2, 8, 7, -100))
+        assert (d.mnemonic, d.rs1, d.rs2, d.imm) == ("sw", 8, 7, -100)
+
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_store_offset_roundtrip(self, imm):
+        d = decode(encode_s(OP_STORE, 2, 1, 2, imm))
+        assert d.imm == imm
+
+    @given(st.integers(min_value=-2048, max_value=2046))
+    def test_branch_offset_roundtrip(self, imm_half):
+        imm = imm_half * 2  # branch offsets are even
+        d = decode(encode_b(OP_BRANCH, 0, 1, 2, imm))
+        assert d.mnemonic == "beq"
+        assert d.imm == imm
+
+    @given(st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1))
+    def test_jal_offset_roundtrip(self, imm_half):
+        imm = imm_half * 2
+        d = decode(encode_j(OP_JAL, 1, imm))
+        assert d.imm == imm
+
+    def test_shifts(self):
+        assert decode(encode_r(OP_IMM, 1, 1, 2, 5, 0)).mnemonic == "slli"
+        assert decode(encode_r(OP_IMM, 1, 5, 2, 5, 0x20)).mnemonic == "srai"
+
+    def test_system_instructions(self):
+        assert decode(0x00000073).mnemonic == "ecall"
+        assert decode(0x00100073).mnemonic == "ebreak"
+        assert decode(0x30200073).mnemonic == "mret"
+        assert decode(0x10500073).mnemonic == "wfi"
+
+    def test_csr_instructions(self):
+        d = decode(encode_i(0x73, 5, 2, 0, 0x300))
+        assert d.mnemonic == "csrrs" and d.csr == 0x300
+
+    def test_custom_fs_instructions(self):
+        d = decode(encode_r(OP_CUSTOM0, 9, 0, 0, 0, 0))
+        assert d.mnemonic == "fsread" and d.rd == 9
+        d = decode(encode_r(OP_CUSTOM0, 0, 1, 11, 0, 0))
+        assert d.mnemonic == "fsen" and d.rs1 == 11
+
+
+class TestIllegal:
+    @pytest.mark.parametrize("word", [0x00000000, 0xFFFFFFFF, 0x0000007F])
+    def test_illegal_raises(self, word):
+        with pytest.raises(IllegalInstructionError):
+            decode(word, pc=0x80000000)

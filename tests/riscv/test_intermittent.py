@@ -1,0 +1,113 @@
+"""Intermittent execution: programs survive power failures unchanged.
+
+The crown-jewel integration property (paper Section IV-B): unmodified
+software linked against the checkpoint runtime completes correctly
+across arbitrarily many power cycles, with Failure Sentinels providing
+the just-in-time interrupt.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.riscv import IntermittentMachine, assemble
+from repro.harvest.traces import constant_trace, nyc_pedestrian_night
+
+CHECKSUM_PROGRAM = """
+    li   s0, 0              # outer counter
+    li   s1, 400            # outer loops
+    li   s2, 0              # accumulator
+outer:
+    li   t0, 0x80001000     # data region (inside the 8 KiB footprint)
+    li   t1, 200            # words per pass
+inner:
+    lw   t2, 0(t0)
+    add  s2, s2, t2
+    addi s2, s2, 7
+    sw   s2, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, inner
+    addi s0, s0, 1
+    blt  s0, s1, outer
+    mv   a0, s2
+    ecall
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return assemble(CHECKSUM_PROGRAM)
+
+
+@pytest.fixture(scope="module")
+def reference(program):
+    return IntermittentMachine(program).run_continuous()
+
+
+class TestContinuousReference:
+    def test_completes(self, reference):
+        assert reference.completed
+        assert reference.power_cycles == 1
+        assert reference.instructions > 100000
+
+
+class TestIntermittentEquivalence:
+    def test_result_identical_across_power_cycles(self, program, reference):
+        machine = IntermittentMachine(program, capacitance=10e-6, volatile_bytes=8192)
+        result = machine.run(constant_trace(1.0, 7200.0), max_wall_time=7200.0)
+        assert result.completed, result.summary()
+        assert result.exit_code == reference.exit_code
+        assert result.power_cycles >= 3       # really was intermittent
+        assert result.checkpoints >= result.power_cycles - 1
+        assert result.power_failures == 0
+        assert result.instructions >= reference.instructions
+
+    def test_result_identical_on_realistic_trace(self, program, reference):
+        machine = IntermittentMachine(program, capacitance=10e-6, volatile_bytes=8192)
+        trace = nyc_pedestrian_night(duration=7200.0, seed=13, base_irradiance=0.6,
+                                     burst_irradiance=4.0)
+        result = machine.run(trace, max_wall_time=7200.0)
+        assert result.completed, result.summary()
+        assert result.exit_code == reference.exit_code
+
+    def test_strong_light_single_cycle(self, program, reference):
+        machine = IntermittentMachine(program)
+        result = machine.run(constant_trace(20.0, 600.0), max_wall_time=600.0)
+        assert result.completed
+        assert result.power_cycles == 1
+        assert result.checkpoints == 0
+        assert result.exit_code == reference.exit_code
+
+    def test_darkness_never_completes(self, program):
+        machine = IntermittentMachine(program)
+        result = machine.run(constant_trace(0.0, 20.0), max_wall_time=20.0)
+        assert not result.completed
+        assert result.instructions == 0
+
+
+class TestConsoleAcrossFailures:
+    def test_output_happens(self):
+        program = assemble("""
+            li   t0, 0x10000000
+            li   t1, 72          # 'H'
+            sb   t1, 0(t0)
+            li   a0, 0
+            ecall
+        """)
+        machine = IntermittentMachine(program)
+        result = machine.run(constant_trace(10.0, 60.0), max_wall_time=60.0)
+        assert result.completed
+        assert "H" in result.console_output
+
+
+class TestValidation:
+    def test_threshold_ordering_enforced(self, program):
+        with pytest.raises(SimulationError):
+            IntermittentMachine(program, v_threshold=1.7)  # below v_min
+        with pytest.raises(SimulationError):
+            IntermittentMachine(program, v_threshold=3.6)  # above v_on
+
+    def test_summary_format(self, program):
+        machine = IntermittentMachine(program)
+        result = machine.run(constant_trace(0.0, 5.0), max_wall_time=5.0)
+        assert "DID NOT FINISH" in result.summary()

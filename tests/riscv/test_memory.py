@@ -1,0 +1,113 @@
+"""Memory map: RAM/NVM/MMIO routing, persistence, accounting."""
+
+import pytest
+
+from repro.errors import MemoryAccessError
+from repro.riscv import MemoryMap, NVM_BASE, RAM_BASE
+from repro.riscv.memory import CONSOLE_TX, MMIO_BASE, MMIODevice
+
+
+class TestRAM:
+    def test_word_roundtrip(self):
+        m = MemoryMap()
+        m.write(RAM_BASE + 0x100, 0xDEADBEEF, 4)
+        assert m.read(RAM_BASE + 0x100, 4) == 0xDEADBEEF
+
+    def test_little_endian_bytes(self):
+        m = MemoryMap()
+        m.write(RAM_BASE, 0x11223344, 4)
+        assert m.read(RAM_BASE, 1) == 0x44
+        assert m.read(RAM_BASE + 3, 1) == 0x11
+
+    def test_halfword(self):
+        m = MemoryMap()
+        m.write(RAM_BASE, 0xABCD, 2)
+        assert m.read(RAM_BASE, 2) == 0xABCD
+
+    def test_misaligned_rejected(self):
+        m = MemoryMap()
+        with pytest.raises(MemoryAccessError, match="misaligned"):
+            m.read(RAM_BASE + 1, 4)
+        with pytest.raises(MemoryAccessError, match="misaligned"):
+            m.write(RAM_BASE + 2, 0, 4)
+
+    def test_unmapped_rejected(self):
+        m = MemoryMap()
+        with pytest.raises(MemoryAccessError):
+            m.read(0x0, 4)
+        with pytest.raises(MemoryAccessError):
+            m.write(0x4000_0000, 1, 4)
+
+    def test_bad_width(self):
+        m = MemoryMap()
+        with pytest.raises(MemoryAccessError):
+            m.read(RAM_BASE, 3)
+
+    def test_value_masked_to_width(self):
+        m = MemoryMap()
+        m.write(RAM_BASE, 0x1FF, 1)
+        assert m.read(RAM_BASE, 1) == 0xFF
+
+
+class TestPersistence:
+    def test_power_failure_clears_ram_keeps_nvm(self):
+        m = MemoryMap()
+        m.write(RAM_BASE, 0x1234, 4)
+        m.write(NVM_BASE, 0x5678, 4)
+        m.power_failure()
+        assert m.read(RAM_BASE, 4) == 0
+        assert m.read(NVM_BASE, 4) == 0x5678
+
+    def test_nvm_write_accounting(self):
+        m = MemoryMap()
+        m.write(NVM_BASE, 1, 4)
+        m.write(NVM_BASE + 8, 1, 2)
+        m.write(RAM_BASE, 1, 4)  # RAM writes not counted
+        assert m.nvm_bytes_written == 6
+
+
+class TestMMIO:
+    def test_console_collects_text(self):
+        m = MemoryMap()
+        for ch in b"ok":
+            m.write(CONSOLE_TX, ch, 1)
+        assert m.console.text() == "ok"
+
+    def test_console_read_returns_zero(self):
+        assert MemoryMap().read(CONSOLE_TX, 4) == 0
+
+    def test_attach_custom_device(self):
+        class Echo(MMIODevice):
+            def __init__(self):
+                self.last = 0
+
+            def mmio_read(self, offset, width):
+                return self.last
+
+            def mmio_write(self, offset, value, width):
+                self.last = value
+
+        m = MemoryMap()
+        dev = Echo()
+        m.attach(MMIO_BASE + 0x200, 0x10, dev)
+        m.write(MMIO_BASE + 0x200, 42, 4)
+        assert m.read(MMIO_BASE + 0x200, 4) == 42
+
+    def test_overlapping_mmio_rejected(self):
+        m = MemoryMap()
+        with pytest.raises(MemoryAccessError, match="overlap"):
+            m.attach(MMIO_BASE, 0x10, MMIODevice())
+
+
+class TestProgramLoading:
+    def test_load_program_words(self):
+        m = MemoryMap()
+        m.load_program([0x11, 0x22], base=RAM_BASE)
+        assert m.read(RAM_BASE, 4) == 0x11
+        assert m.read(RAM_BASE + 4, 4) == 0x22
+
+    def test_load_bytes(self):
+        m = MemoryMap()
+        m.load_bytes(b"\x01\x02", RAM_BASE + 16)
+        assert m.read(RAM_BASE + 16, 1) == 1
+        assert m.read(RAM_BASE + 17, 1) == 2

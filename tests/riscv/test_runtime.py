@@ -1,0 +1,120 @@
+"""The checkpoint/restore runtime over the NVM."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.riscv import CPU, MemoryMap, assemble
+from repro.riscv.memory import RAM_BASE
+from repro.riscv.runtime import CheckpointRuntime, FRAM_BYTES_PER_CYCLE
+
+
+def make_cpu():
+    mem = MemoryMap()
+    mem.load_program(assemble("""
+        li  s0, 111
+        li  s1, 222
+        li  t0, 0x80001000
+        li  t1, 0xCAFE
+        sw  t1, 0(t0)
+        li  a0, 1
+        ecall
+    """))
+    return CPU(mem)
+
+
+class TestCheckpointRestore:
+    def test_roundtrip_preserves_state(self):
+        cpu = make_cpu()
+        rt = CheckpointRuntime(cpu, volatile_bytes=8192)
+        for _ in range(10):  # run through the stores
+            cpu.step()
+        record = rt.checkpoint()
+        assert record.bytes_written > 8192
+
+        # Simulate a power failure, then restore.
+        pc_before = cpu.pc
+        s0_before = cpu.read_reg(8)
+        cpu.memory.power_failure()
+        cpu.reset()
+        assert cpu.read_reg(8) == 0
+        assert cpu.memory.read(0x80001000, 4) == 0
+
+        assert rt.restore()
+        assert cpu.pc == pc_before
+        assert cpu.read_reg(8) == s0_before
+        assert cpu.memory.read(0x80001000, 4) == 0xCAFE
+
+    def test_restored_program_completes_identically(self):
+        cpu = make_cpu()
+        rt = CheckpointRuntime(cpu, volatile_bytes=8192)
+        for _ in range(6):
+            cpu.step()
+        rt.checkpoint()
+        cpu.memory.power_failure()
+        cpu.reset()
+        rt.restore()
+        cpu.run()
+        assert cpu.exit_code == 1
+
+    def test_no_checkpoint_restore_returns_false(self):
+        cpu = make_cpu()
+        rt = CheckpointRuntime(cpu)
+        assert not rt.has_checkpoint()
+        assert not rt.restore()
+
+    def test_invalidate(self):
+        cpu = make_cpu()
+        rt = CheckpointRuntime(cpu)
+        rt.checkpoint()
+        assert rt.has_checkpoint()
+        rt.invalidate()
+        assert not rt.has_checkpoint()
+
+    def test_counters(self):
+        cpu = make_cpu()
+        rt = CheckpointRuntime(cpu)
+        rt.checkpoint()
+        rt.checkpoint()
+        rt.restore()
+        assert rt.checkpoints_taken == 2
+        assert rt.restores_done == 1
+
+
+class TestTimingModel:
+    def test_paper_worst_case(self):
+        """8 KiB volatile footprint at 1 byte/cycle and 1 MHz clock:
+        ~8.192 ms + header, the paper's checkpoint figure."""
+        cpu = make_cpu()
+        rt = CheckpointRuntime(cpu, volatile_bytes=8192)
+        record = rt.checkpoint()
+        duration = record.duration(clock_hz=1e6)
+        assert duration == pytest.approx(8.192e-3, rel=0.03)
+
+    def test_restore_cycles_cover_payload(self):
+        cpu = make_cpu()
+        rt = CheckpointRuntime(cpu, volatile_bytes=4096)
+        assert rt.restore_cycles() >= 4096 / FRAM_BYTES_PER_CYCLE
+
+    def test_nvm_accounting_bumped(self):
+        cpu = make_cpu()
+        rt = CheckpointRuntime(cpu, volatile_bytes=2048)
+        before = cpu.memory.nvm_bytes_written
+        record = rt.checkpoint()
+        assert cpu.memory.nvm_bytes_written - before == record.bytes_written
+
+
+class TestValidation:
+    def test_footprint_must_fit_nvm(self):
+        cpu = make_cpu()
+        with pytest.raises(SimulationError):
+            CheckpointRuntime(cpu, volatile_bytes=10**9)
+
+    def test_footprint_must_fit_ram(self):
+        cpu = make_cpu()
+        with pytest.raises(SimulationError):
+            CheckpointRuntime(cpu, volatile_bytes=65 * 1024 * 2)
+
+    def test_nonpositive_footprint(self):
+        cpu = make_cpu()
+        with pytest.raises(SimulationError):
+            CheckpointRuntime(cpu, volatile_bytes=0)

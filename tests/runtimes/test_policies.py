@@ -1,0 +1,171 @@
+"""Checkpoint policies: decision logic and adaptation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.riscv.fs_device import FSDevice
+from repro.runtimes import (
+    AdaptiveTimerPolicy,
+    CheckpointDecision,
+    ContinuousPolicy,
+    JustInTimePolicy,
+    MonitoredTimerPolicy,
+)
+from repro.runtimes.policies import PolicyView
+
+
+def view(instructions=0, on_time=0.0, ckpt_time=0.0, fs=None):
+    return PolicyView(
+        instructions_since_checkpoint=instructions,
+        time_since_power_on=on_time,
+        time_since_checkpoint=ckpt_time,
+        fs_device=fs,
+    )
+
+
+class TestPolicyView:
+    def test_no_device(self):
+        v = view()
+        assert not v.fs_interrupt_pending()
+        assert v.fs_voltage() is None
+
+    def test_fs_voltage_polls(self):
+        fs = FSDevice(v_supply=2.5)
+        fs.insn_fsen(1)
+        v = view(fs=fs)
+        assert v.fs_voltage() == pytest.approx(2.5, abs=0.08)
+
+
+class TestJustInTime:
+    def test_requires_interrupt(self):
+        fs = FSDevice(v_supply=3.0)
+        fs.insn_fsen(1)
+        policy = JustInTimePolicy()
+        assert policy.decide(view(fs=fs)) is CheckpointDecision.CONTINUE
+        fs.irq_pending = True
+        assert policy.decide(view(fs=fs)) is CheckpointDecision.CHECKPOINT
+
+    def test_uses_monitor(self):
+        assert JustInTimePolicy().uses_monitor_interrupt
+
+
+class TestContinuous:
+    def test_period_semantics(self):
+        policy = ContinuousPolicy(period_instructions=1000)
+        assert policy.decide(view(instructions=999)) is CheckpointDecision.CONTINUE
+        assert policy.decide(view(instructions=1000)) is CheckpointDecision.CHECKPOINT
+
+    def test_ignores_monitor(self):
+        assert not ContinuousPolicy().uses_monitor_interrupt
+
+    def test_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            ContinuousPolicy(period_instructions=0)
+
+
+class TestAdaptiveTimer:
+    def test_waits_for_deadline(self):
+        policy = AdaptiveTimerPolicy(initial_lifetime=1.0, guard_band=0.5)
+        assert policy.decide(view(on_time=0.1, ckpt_time=0.1)) is CheckpointDecision.CONTINUE
+        assert policy.decide(view(on_time=0.6, ckpt_time=0.6)) is CheckpointDecision.CHECKPOINT
+
+    def test_learns_longer_lifetimes(self):
+        policy = AdaptiveTimerPolicy(initial_lifetime=0.1, smoothing=0.5, guard_band=0.5)
+        before = policy.expected_lifetime
+        policy.on_checkpoint(view(on_time=0.4))
+        assert policy.expected_lifetime > before
+
+    def test_backs_off_after_failure(self):
+        policy = AdaptiveTimerPolicy(initial_lifetime=1.0, failure_backoff=0.5)
+        policy.on_power_failure(view(on_time=0.2))
+        assert policy.expected_lifetime == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("kw", [
+        {"guard_band": 0.0}, {"guard_band": 1.0},
+        {"smoothing": 0.0}, {"failure_backoff": 1.0},
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ConfigurationError):
+            AdaptiveTimerPolicy(**kw)
+
+
+class TestMonitoredTimer:
+    def test_checkpoints_near_threshold(self):
+        fs = FSDevice(v_supply=3.0)
+        fs.insn_fsen(1)
+        policy = MonitoredTimerPolicy(v_checkpoint=1.9, margin=0.08)
+        assert policy.decide(view(fs=fs)) is CheckpointDecision.CONTINUE
+        fs.set_supply(1.95)
+        assert policy.decide(view(fs=fs)) is CheckpointDecision.CHECKPOINT
+
+    def test_interrupt_backstop(self):
+        fs = FSDevice(v_supply=3.0)
+        fs.insn_fsen(1)
+        fs.irq_pending = True
+        policy = MonitoredTimerPolicy()
+        assert policy.decide(view(fs=fs)) is CheckpointDecision.CHECKPOINT
+
+    def test_bad_margin(self):
+        with pytest.raises(ConfigurationError):
+            MonitoredTimerPolicy(margin=0.0)
+
+
+class TestPoliciesOnMachine:
+    """End-to-end: every policy completes the workload correctly."""
+
+    @pytest.fixture(scope="class")
+    def program(self):
+        from repro.riscv import assemble
+
+        return assemble("""
+            li   s0, 0
+            li   s1, 250
+            li   s2, 0
+        outer:
+            li   t0, 0x80001000
+            li   t1, 200
+        inner:
+            lw   t2, 0(t0)
+            add  s2, s2, t2
+            addi s2, s2, 7
+            sw   s2, 0(t0)
+            addi t0, t0, 4
+            addi t1, t1, -1
+            bnez t1, inner
+            addi s0, s0, 1
+            blt  s0, s1, outer
+            mv   a0, s2
+            ecall
+        """)
+
+    @pytest.fixture(scope="class")
+    def reference(self, program):
+        from repro.riscv import IntermittentMachine
+
+        return IntermittentMachine(program).run_continuous()
+
+    @pytest.mark.parametrize("policy_factory", [
+        JustInTimePolicy,
+        lambda: ContinuousPolicy(20_000),
+        AdaptiveTimerPolicy,
+        MonitoredTimerPolicy,
+    ])
+    def test_policy_preserves_correctness(self, program, reference, policy_factory):
+        from repro.harvest.traces import constant_trace
+        from repro.riscv import IntermittentMachine
+
+        machine = IntermittentMachine(program, capacitance=10e-6, policy=policy_factory())
+        result = machine.run(constant_trace(1.0, 7200.0), max_wall_time=7200.0)
+        assert result.completed, result.summary()
+        assert result.exit_code == reference.exit_code
+        assert result.power_cycles > 1  # genuinely intermittent
+
+    def test_fs_policies_lose_no_work(self, program, reference):
+        from repro.harvest.traces import constant_trace
+        from repro.riscv import IntermittentMachine
+
+        for factory in (JustInTimePolicy, MonitoredTimerPolicy):
+            machine = IntermittentMachine(program, capacitance=10e-6, policy=factory())
+            result = machine.run(constant_trace(1.0, 7200.0), max_wall_time=7200.0)
+            assert result.power_failures == 0
+            assert result.instructions == reference.instructions  # zero re-execution

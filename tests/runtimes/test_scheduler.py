@@ -1,0 +1,120 @@
+"""Energy-aware task scheduling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harvest import fs_low_power_monitor, nyc_pedestrian_night
+from repro.harvest.capacitor import BufferCapacitor
+from repro.harvest.traces import constant_trace
+from repro.runtimes import BlindScheduler, EnergyAwareScheduler, Task, run_schedule
+from repro.runtimes.scheduler import default_task_mix
+
+
+class TestTask:
+    def test_energy(self):
+        t = Task("x", current=100e-6, duration=0.5)
+        assert t.energy_at(2.0) == pytest.approx(100e-6 * 2.0 * 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Task("x", current=0.0, duration=1.0)
+        with pytest.raises(ConfigurationError):
+            Task("x", current=1e-6, duration=0.0)
+
+
+class TestBlindScheduler:
+    def test_round_robin(self):
+        tasks = default_task_mix()
+        sched = BlindScheduler(tasks)
+        cap = BufferCapacitor(voltage=3.5)
+        picks = [sched.pick(cap, 1.8).name for _ in range(len(tasks) * 2)]
+        assert picks[: len(tasks)] == [t.name for t in tasks]
+        assert picks[len(tasks):] == picks[: len(tasks)]
+
+    def test_needs_tasks(self):
+        with pytest.raises(ConfigurationError):
+            BlindScheduler([])
+
+
+class TestEnergyAwareScheduler:
+    def test_skips_unaffordable_tasks(self):
+        monitor = fs_low_power_monitor()
+        big = Task("big", current=1e-3, duration=10.0)     # ~20 mJ
+        small = Task("small", current=100e-6, duration=0.1)
+        sched = EnergyAwareScheduler([big, small], monitor)
+        cap = BufferCapacitor(capacitance=47e-6, voltage=3.5)  # ~288 uJ
+        pick = sched.pick(cap, 1.8)
+        assert pick is not None and pick.name == "small"
+
+    def test_best_fit_prefers_largest_affordable(self):
+        monitor = fs_low_power_monitor()
+        tasks = [
+            Task("tiny", current=50e-6, duration=0.05),
+            Task("medium", current=200e-6, duration=0.2),
+        ]
+        sched = EnergyAwareScheduler(tasks, monitor)
+        cap = BufferCapacitor(capacitance=47e-6, voltage=3.5)
+        assert sched.pick(cap, 1.8).name == "medium"
+
+    def test_returns_none_when_nothing_fits(self):
+        monitor = fs_low_power_monitor()
+        sched = EnergyAwareScheduler([Task("big", current=1e-3, duration=10.0)], monitor)
+        cap = BufferCapacitor(capacitance=47e-6, voltage=2.0)
+        assert sched.pick(cap, 1.8) is None
+
+    def test_measured_voltage_pessimistic(self):
+        monitor = fs_low_power_monitor()
+        sched = EnergyAwareScheduler(default_task_mix(), monitor)
+        assert sched.measured_voltage(3.0) == pytest.approx(3.0 - monitor.resolution)
+
+
+class TestRunSchedule:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return nyc_pedestrian_night(duration=240, seed=42, base_irradiance=0.6)
+
+    def test_energy_aware_never_killed(self, trace):
+        monitor = fs_low_power_monitor()
+        run = run_schedule(
+            EnergyAwareScheduler(default_task_mix(), monitor), trace,
+            monitor_current=monitor.current,
+        )
+        assert run.stats.killed == 0
+        assert run.stats.completed > 0
+        assert run.useful_fraction > 0.95
+
+    def test_blind_kills_tasks(self, trace):
+        run = run_schedule(BlindScheduler(default_task_mix()), trace)
+        assert run.stats.killed > 0
+        assert run.stats.wasted_energy > 0
+        assert run.completion_ratio < 0.9
+
+    def test_energy_aware_beats_blind(self, trace):
+        monitor = fs_low_power_monitor()
+        blind = run_schedule(BlindScheduler(default_task_mix()), trace)
+        aware = run_schedule(
+            EnergyAwareScheduler(default_task_mix(), monitor), trace,
+            monitor_current=monitor.current,
+        )
+        assert aware.stats.completed > blind.stats.completed
+        assert aware.useful_fraction > blind.useful_fraction
+
+    def test_no_light_nothing_happens(self):
+        run = run_schedule(BlindScheduler(default_task_mix()), constant_trace(0.0, 10.0))
+        assert run.stats.completed == 0
+        assert run.stats.killed == 0
+
+    def test_bad_dt(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            run_schedule(BlindScheduler(default_task_mix()), constant_trace(1.0, 1.0), dt=0)
+
+    def test_conservation(self, trace):
+        """Useful + wasted task energy plus monitor energy is consistent
+        with the stats counters."""
+        run = run_schedule(BlindScheduler(default_task_mix()), trace)
+        assert run.stats.useful_energy >= 0
+        assert run.stats.wasted_energy >= 0
+        total_tasks = run.stats.completed + run.stats.killed
+        assert total_tasks > 0

@@ -1,0 +1,144 @@
+"""Device models: sign conventions, parameter validation, physics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spice import (
+    Capacitor,
+    CurrentSource,
+    DiodeConnectedMOSFET,
+    MOSFET,
+    Resistor,
+    Switch,
+    VoltageSource,
+)
+from repro.tech import TECH_90NM
+
+
+class TestResistor:
+    def test_ohms_law_and_signs(self):
+        r = Resistor("R", "a", "b", 1000)
+        i = r.currents({"a": 1.0, "b": 0.0})
+        assert i["a"] == pytest.approx(1e-3)   # out of a into the device
+        assert i["b"] == pytest.approx(-1e-3)  # out of the device into b
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            Resistor("R", "a", "b", 0)
+
+
+class TestCurrentSource:
+    def test_constant_flow(self):
+        s = CurrentSource("I", "a", "b", 2e-6)
+        i = s.currents({"a": 5.0, "b": 0.0})
+        assert i["a"] == 2e-6
+        assert i["b"] == -2e-6
+
+
+class TestVoltageSource:
+    def test_holds_voltage_through_stiff_norton(self):
+        v = VoltageSource("V", "p", "n", 3.0)
+        # At the target voltage, no correction current flows.
+        i = v.currents({"p": 3.0, "n": 0.0})
+        assert i["p"] == pytest.approx(0.0)
+
+    def test_through_current(self):
+        v = VoltageSource("V", "p", "n", 3.0)
+        assert v.through({"p": 2.999999, "n": 0.0}) > 0  # delivering
+
+    def test_rejects_nonpositive_conductance(self):
+        with pytest.raises(ConfigurationError):
+            VoltageSource("V", "p", "n", 1.0, conductance=0)
+
+
+class TestSwitch:
+    def test_closed_conducts(self):
+        s = Switch("S", "a", "b", closed=True, on_resistance=100)
+        assert s.currents({"a": 1.0, "b": 0.0})["a"] == pytest.approx(0.01)
+
+    def test_open_blocks(self):
+        s = Switch("S", "a", "b", closed=False)
+        assert abs(s.currents({"a": 1.0, "b": 0.0})["a"]) < 1e-11
+
+
+class TestCapacitor:
+    def test_no_dc_current(self):
+        c = Capacitor("C", "a", "b", 1e-6)
+        assert c.currents({"a": 1.0, "b": 0.0})["a"] == 0.0
+
+    def test_companion_current_in_transient(self):
+        c = Capacitor("C", "a", "b", 1e-6, initial_voltage=0.0)
+        c.begin_step(1e-3)
+        i = c.currents({"a": 1.0, "b": 0.0})
+        assert i["a"] == pytest.approx(1e-6 * 1.0 / 1e-3)
+
+    def test_commit_updates_state(self):
+        c = Capacitor("C", "a", "b", 1e-6)
+        c.begin_step(1e-3)
+        c.commit_step({"a": 0.5, "b": 0.0})
+        assert c.voltage == 0.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            Capacitor("C", "a", "b", 0.0)
+
+
+class TestMOSFET:
+    def test_nmos_off_below_threshold_mostly(self):
+        m = MOSFET("M", "d", "g", "s", TECH_90NM, "n")
+        i = m.currents({"d": 1.0, "g": 0.0, "s": 0.0})
+        assert 0 <= i["d"] < 1e-8  # subthreshold leakage only
+
+    def test_nmos_conducts_when_on(self):
+        m = MOSFET("M", "d", "g", "s", TECH_90NM, "n")
+        i = m.currents({"d": 1.0, "g": 1.0, "s": 0.0})
+        assert i["d"] > 1e-6
+        assert i["s"] == pytest.approx(-i["d"])
+
+    def test_nmos_reversed_bias_symmetric(self):
+        m = MOSFET("M", "d", "g", "s", TECH_90NM, "n")
+        fwd = m.currents({"d": 1.0, "g": 1.0, "s": 0.0})["d"]
+        rev = m.currents({"d": 0.0, "g": 1.0, "s": 1.0})["d"]
+        assert rev == pytest.approx(-fwd)
+
+    def test_pmos_conducts_with_low_gate(self):
+        m = MOSFET("M", "d", "g", "s", TECH_90NM, "p")
+        i = m.currents({"s": 1.0, "g": 0.0, "d": 0.0})
+        # PMOS sources current into the drain node.
+        assert i["d"] < -1e-6
+
+    def test_width_scales_current(self):
+        m1 = MOSFET("M1", "d", "g", "s", TECH_90NM, "n", width=1.0)
+        m4 = MOSFET("M4", "d", "g", "s", TECH_90NM, "n", width=4.0)
+        bias = {"d": 1.0, "g": 1.0, "s": 0.0}
+        assert m4.currents(bias)["d"] == pytest.approx(4 * m1.currents(bias)["d"])
+
+    def test_gate_draws_no_current(self):
+        m = MOSFET("M", "d", "g", "s", TECH_90NM, "n")
+        assert m.currents({"d": 1.0, "g": 1.0, "s": 0.0})["g"] == 0.0
+
+    def test_bad_polarity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MOSFET("M", "d", "g", "s", TECH_90NM, "x")
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MOSFET("M", "d", "g", "s", TECH_90NM, "n", width=0)
+
+
+class TestDiodeConnected:
+    def test_two_terminal_collapse(self):
+        d = DiodeConnectedMOSFET("D", "hi", "lo", TECH_90NM)
+        i = d.currents({"hi": 1.0, "lo": 0.0})
+        assert set(i) == {"hi", "lo"}
+        assert i["hi"] == pytest.approx(-i["lo"])
+
+    def test_conducts_downhill(self):
+        d = DiodeConnectedMOSFET("D", "hi", "lo", TECH_90NM)
+        i = d.currents({"hi": 1.0, "lo": 0.0})
+        assert i["hi"] > 1e-7  # current flows out of hi, through, into lo
+
+    def test_nmos_variant(self):
+        d = DiodeConnectedMOSFET("D", "hi", "lo", TECH_90NM, polarity="n")
+        i = d.currents({"hi": 1.0, "lo": 0.0})
+        assert i["hi"] > 1e-7

@@ -1,0 +1,137 @@
+"""DC and transient solvers against closed-form circuits."""
+
+import math
+
+import pytest
+
+from repro.errors import ConvergenceError, NetlistError
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    DiodeConnectedMOSFET,
+    GROUND,
+    Resistor,
+    Switch,
+    VoltageSource,
+    dc_operating_point,
+    transient,
+)
+from repro.tech import TECH_90NM
+
+
+def resistor_divider(v=3.0, r1=1e3, r2=2e3):
+    c = Circuit("rdiv")
+    c.add(VoltageSource("V1", "vdd", GROUND, v))
+    c.add(Resistor("R1", "vdd", "mid", r1))
+    c.add(Resistor("R2", "mid", GROUND, r2))
+    return c
+
+
+class TestDC:
+    def test_resistor_divider(self):
+        op = dc_operating_point(resistor_divider())
+        assert op["mid"] == pytest.approx(2.0, abs=1e-3)
+        assert op["vdd"] == pytest.approx(3.0, abs=1e-3)
+
+    def test_ground_always_zero(self):
+        op = dc_operating_point(resistor_divider())
+        assert op[GROUND] == 0.0
+
+    def test_current_source_into_resistor(self):
+        c = Circuit()
+        c.add(CurrentSource("I1", GROUND, "a", 1e-3))  # pushes into a
+        c.add(Resistor("R1", "a", GROUND, 1e3))
+        op = dc_operating_point(c)
+        assert op["a"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_pmos_diode_stack_divides_by_three(self):
+        c = Circuit()
+        c.add(VoltageSource("V1", "vdd", GROUND, 3.0))
+        c.add(DiodeConnectedMOSFET("M1", "vdd", "n2", TECH_90NM))
+        c.add(DiodeConnectedMOSFET("M2", "n2", "n1", TECH_90NM))
+        c.add(DiodeConnectedMOSFET("M3", "n1", GROUND, TECH_90NM))
+        op = dc_operating_point(c)
+        assert op["n1"] == pytest.approx(1.0, abs=0.05)
+        assert op["n2"] == pytest.approx(2.0, abs=0.05)
+
+    def test_initial_guess_speeds_sweep(self):
+        c = resistor_divider()
+        op1 = dc_operating_point(c)
+        op2 = dc_operating_point(c, initial=op1.voltages)
+        assert op2["mid"] == pytest.approx(op1["mid"], abs=1e-6)
+
+    def test_invalid_circuit_raises(self):
+        with pytest.raises(NetlistError):
+            dc_operating_point(Circuit())
+
+
+class TestTransient:
+    def test_rc_charge_curve(self):
+        c = Circuit()
+        c.add(VoltageSource("V1", "in", GROUND, 1.0))
+        c.add(Resistor("R", "in", "out", 1e3))
+        c.add(Capacitor("C", "out", GROUND, 1e-6))
+        res = transient(c, t_stop=5e-3, dt=2e-5, initial={"in": 1.0, "out": 0.0})
+        w = res.node("out")
+        # After 5 tau, ~99.3% charged; backward Euler slightly overdamps.
+        assert w.final() == pytest.approx(1 - math.exp(-5), abs=0.02)
+        # One-tau point.
+        mid = [v for t, v in zip(w.times, w.values) if abs(t - 1e-3) < 1.1e-5]
+        assert mid[0] == pytest.approx(1 - math.exp(-1), abs=0.03)
+
+    def test_transient_starts_from_dc_by_default(self):
+        c = resistor_divider()
+        c.add(Capacitor("C", "mid", GROUND, 1e-9))
+        res = transient(c, t_stop=1e-4, dt=1e-5)
+        w = res.node("mid")
+        assert w.values[0] == pytest.approx(2.0, abs=1e-2)
+        assert w.final() == pytest.approx(2.0, abs=1e-2)
+
+    def test_probe_callables(self):
+        c = resistor_divider()
+        vs = c.device("V1")
+        res = transient(
+            c, t_stop=1e-4, dt=1e-5,
+            probes={"i_supply": lambda v: vs.through(v)},
+        )
+        i = res.probe("i_supply").final()
+        assert i == pytest.approx(1e-3, rel=0.01)  # 3 V over 3 kOhm
+
+    def test_on_step_callback_can_toggle_switch(self):
+        c = Circuit()
+        c.add(VoltageSource("V1", "in", GROUND, 1.0))
+        sw = c.add(Switch("S", "in", "out", closed=False, on_resistance=10.0))
+        c.add(Resistor("R", "out", GROUND, 1e3))
+
+        def close_late(t, volts):
+            if t >= 5e-5:
+                sw.closed = True
+
+        res = transient(c, t_stop=1e-4, dt=1e-5, on_step=close_late,
+                        initial={"in": 1.0, "out": 0.0})
+        w = res.node("out")
+        assert w.values[2] == pytest.approx(0.0, abs=1e-6)
+        assert w.final() == pytest.approx(1.0, rel=0.05)
+
+
+class TestSourceStepping:
+    def test_stiff_diode_stack_converges_via_stepping(self):
+        """A tall diode-connected stack from a cold start is the case
+        plain Newton can fail on; source stepping must rescue it."""
+        c = Circuit("tall-stack")
+        c.add(VoltageSource("V1", "vdd", GROUND, 3.6))
+        nodes = ["vdd", "a", "b", "c", "d", "e", GROUND]
+        for i in range(6):
+            c.add(DiodeConnectedMOSFET(f"M{i}", nodes[i], nodes[i + 1], TECH_90NM))
+        op = dc_operating_point(c)
+        # Evenly divided: each tap at k/6 of the rail.
+        for i, node in enumerate(["a", "b", "c", "d", "e"], start=1):
+            expected = 3.6 * (6 - i) / 6
+            assert op[node] == pytest.approx(expected, abs=0.12)
+
+    def test_sources_restored_after_stepping(self):
+        c = resistor_divider(v=3.0)
+        source = c.device("V1")
+        dc_operating_point(c)
+        assert source.voltage == 3.0

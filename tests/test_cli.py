@@ -1,0 +1,28 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_info_default(self, capsys):
+        main([])
+        out = capsys.readouterr().out
+        assert "Failure Sentinels" in out
+        assert "repro.core" in out
+
+    def test_monitor_demo(self, capsys):
+        main(["monitor", "--tech", "90nm", "--voltage", "2.5"])
+        out = capsys.readouterr().out
+        assert "count" in out
+        assert "error budget" in out
+
+    def test_experiments_single(self, capsys):
+        main(["experiments", "table3"])
+        out = capsys.readouterr().out
+        assert "Table III" in out
+
+    def test_experiments_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "nope"])

@@ -1,0 +1,79 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is imported as a module and driven with small arguments so
+the suite stays fast; the goal is catching bit-rot in the public-API
+usage the examples demonstrate.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_contents():
+    names = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+    assert names == [
+        "design_space_exploration",
+        "energy_aware_scheduling",
+        "quickstart",
+        "riscv_intermittent",
+        "solar_sensor_mote",
+        "temperature_compensation",
+    ]
+
+
+def test_quickstart(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "interrupt fired" in out
+    assert "error budget" in out
+
+
+def test_solar_sensor_mote(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["solar_sensor_mote", "--minutes", "0.5"])
+    load_example("solar_sensor_mote").main()
+    out = capsys.readouterr().out
+    assert "Table IV" in out
+    assert "Figure 8" in out
+
+
+def test_design_space_exploration(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["dse", "--generations", "3"])
+    load_example("design_space_exploration").main()
+    out = capsys.readouterr().out
+    assert "Pareto front" in out
+    assert "sensor mote" in out
+
+
+def test_riscv_intermittent(capsys):
+    load_example("riscv_intermittent").main()
+    out = capsys.readouterr().out
+    assert "digests match" in out
+    assert "True" in out
+
+
+def test_temperature_compensation(capsys):
+    load_example("temperature_compensation").main()
+    out = capsys.readouterr().out
+    assert "exceeds budget" in out
+    assert "compensated" in out
+
+
+@pytest.mark.slow
+def test_energy_aware_scheduling(capsys):
+    load_example("energy_aware_scheduling").main()
+    out = capsys.readouterr().out
+    assert "task scheduling" in out
+    assert "checkpoint policies" in out

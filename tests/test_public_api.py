@@ -1,0 +1,71 @@
+"""Public API surface: everything exported actually imports and exists.
+
+Guards against __all__ drift as the library grows.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.tech",
+    "repro.spice",
+    "repro.analog",
+    "repro.core",
+    "repro.dse",
+    "repro.harvest",
+    "repro.riscv",
+    "repro.runtimes",
+    "repro.soc",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", [])
+    for name in exported:
+        assert hasattr(module, name), f"{package}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_has_docstring(package):
+    module = importlib.import_module(package)
+    assert module.__doc__ and len(module.__doc__.strip()) > 40
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_experiment_registry_complete():
+    """Every experiment module with a run() is registered in the runner."""
+    import pkgutil
+
+    import repro.experiments as exp_pkg
+    from repro.experiments.runner import EXPERIMENTS
+
+    modules = [
+        name
+        for _, name, _ in pkgutil.iter_modules(exp_pkg.__path__)
+        if name not in ("tables", "runner")
+    ]
+    for name in modules:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        if hasattr(module, "run"):
+            assert name in EXPERIMENTS, f"experiment {name} not registered in runner"
+
+
+def test_workload_registry_consistent():
+    from repro.riscv.workloads import WORKLOADS
+
+    for name, workload in WORKLOADS.items():
+        assert workload.name == name
+        assert workload.approx_instructions > 0
+        assert callable(workload.reference)
