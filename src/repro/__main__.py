@@ -4,9 +4,12 @@ Subcommands:
 
 * ``info`` (default) — library overview and subsystem inventory;
 * ``experiments [names...]`` — regenerate paper tables/figures
-  (delegates to :mod:`repro.experiments.runner`);
+  (delegates to :mod:`repro.experiments.runner`); ``--list`` prints the
+  available experiment ids;
 * ``monitor [--tech N] [--voltage V]`` — build the default monitor and
-  print a one-shot reading with its error budget.
+  print a one-shot reading with its error budget;
+* ``fleet [--devices N] [--jobs J]`` — simulate a heterogeneous device
+  fleet and print aggregate duty/checkpoint distributions.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ import argparse
 import sys
 
 from repro import __version__
+from repro.errors import ConfigurationError
 
 
 def cmd_info(_args) -> None:
@@ -32,6 +36,7 @@ def cmd_info(_args) -> None:
         ("repro.harvest", "energy-harvesting intermittent-system simulator"),
         ("repro.riscv", "RV32IM ISS with the two FS instructions"),
         ("repro.runtimes", "checkpoint policies + energy-aware scheduling"),
+        ("repro.fleet", "fleet-scale deployment simulation + calibration cache"),
         ("repro.soc", "structural area/power overheads"),
     ]:
         print(f"  {name:<16s} {what}")
@@ -40,9 +45,46 @@ def cmd_info(_args) -> None:
 
 
 def cmd_experiments(args) -> None:
-    from repro.experiments.runner import run_all
+    from repro.experiments.runner import EXPERIMENTS, run_all
 
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return
+    unknown = [name for name in args.names if name not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment{'s' if len(unknown) > 1 else ''}: "
+            + ", ".join(repr(n) for n in unknown),
+            file=sys.stderr,
+        )
+        print("available experiments:", file=sys.stderr)
+        for name in EXPERIMENTS:
+            print(f"  {name}", file=sys.stderr)
+        raise SystemExit(2)
     run_all(args.names or None)
+
+
+def cmd_fleet(args) -> None:
+    import time
+
+    from repro.fleet import CalibrationCache, FleetRunner, synthesize_fleet
+
+    fleet = synthesize_fleet(
+        args.devices,
+        seed=args.seed,
+        duration=args.duration,
+        trace=args.trace,
+        engine=args.engine,
+    )
+    cache = CalibrationCache(enabled=not args.no_cache, cache_dir=args.cache_dir)
+    runner = FleetRunner(fleet, jobs=args.jobs, cache=cache)
+    result = runner.run()
+    print(result.report.render())
+    print(
+        f"({len(fleet)} devices in {result.elapsed:.2f}s, jobs={result.jobs}, "
+        f"calibration cache: {result.cache_summary})"
+    )
 
 
 def cmd_monitor(args) -> None:
@@ -65,13 +107,36 @@ def main(argv=None) -> None:
     sub.add_parser("info", help="library overview")
     exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
     exp.add_argument("names", nargs="*", help="experiment ids (default: all)")
+    exp.add_argument("--list", action="store_true", help="print available experiment ids")
     mon = sub.add_parser("monitor", help="one-shot monitor demo")
     mon.add_argument("--tech", default="90nm", choices=["130nm", "90nm", "65nm"])
     mon.add_argument("--voltage", type=float, default=2.7)
+    flt = sub.add_parser("fleet", help="fleet-scale deployment simulation")
+    flt.add_argument("--devices", type=int, default=20, help="fleet size (default 20)")
+    flt.add_argument("--jobs", type=int, default=1, help="worker processes (default serial)")
+    flt.add_argument("--duration", type=float, default=300.0, help="trace seconds per device")
+    flt.add_argument("--seed", type=int, default=1, help="fleet synthesis seed")
+    flt.add_argument(
+        "--trace",
+        default="nyc_pedestrian_night",
+        choices=["nyc_pedestrian_night", "diurnal", "rfid_reader", "thermal_gradient", "constant"],
+    )
+    flt.add_argument("--engine", default="fast", choices=["fast", "reference"])
+    flt.add_argument("--no-cache", action="store_true", help="disable the calibration cache")
+    flt.add_argument("--cache-dir", default=None, help="persist calibrations to this directory")
 
     args = parser.parse_args(argv)
     command = args.command or "info"
-    {"info": cmd_info, "experiments": cmd_experiments, "monitor": cmd_monitor}[command](args)
+    try:
+        {
+            "info": cmd_info,
+            "experiments": cmd_experiments,
+            "monitor": cmd_monitor,
+            "fleet": cmd_fleet,
+        }[command](args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from repro.experiments import (
     ext_capacitor,
     ext_diurnal,
     ext_enrollment,
+    ext_fleet,
     ext_interconnect,
     ext_policies,
     ext_scheduler,
@@ -55,16 +56,33 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "ext_enrollment": ext_enrollment.run,
     "ext_interconnect": ext_interconnect.run,
     "ext_diurnal": ext_diurnal.run,
+    "ext_fleet": ext_fleet.run,
 }
 
 
+def available_experiments() -> List[str]:
+    """Experiment ids in their canonical (paper) order."""
+    return list(EXPERIMENTS)
+
+
 def run_all(names: List[str] = None) -> List[ExperimentResult]:
-    """Run the selected (default: all) experiments, printing as we go."""
+    """Run the selected (default: all) experiments, printing as we go.
+
+    Unknown names print the available ids to stderr and exit non-zero
+    (no traceback) — this is the CLI's error path.
+    """
     chosen = names or list(EXPERIMENTS)
+    unknown = [name for name in chosen if name not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment{'s' if len(unknown) > 1 else ''}: "
+            + ", ".join(repr(n) for n in unknown),
+            file=sys.stderr,
+        )
+        print("available experiments: " + ", ".join(EXPERIMENTS), file=sys.stderr)
+        raise SystemExit(2)
     results = []
     for name in chosen:
-        if name not in EXPERIMENTS:
-            raise SystemExit(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
         start = time.time()
         result = EXPERIMENTS[name]()
         elapsed = time.time() - start

@@ -1,0 +1,54 @@
+"""Fleet-scale deployment simulation (ubiquity, taken literally).
+
+The paper argues Failure Sentinels is cheap enough to put in *every*
+device; this package simulates what that means operationally.  A
+:class:`FleetSpec` describes N heterogeneous devices (technology node,
+monitor design, panel, capacitor, seeded irradiance trace, runtime
+policy); :class:`FleetRunner` executes them serially or across worker
+processes, sharing one :class:`CalibrationCache` so devices with the
+same monitor design enroll once; :class:`FleetReport` aggregates the
+duty-cycle / checkpoint / power-failure distributions; and
+:class:`DeploymentPlanner` closes the loop with :mod:`repro.dse`,
+assigning each site the cheapest Pareto-optimal design that meets its
+accuracy and sampling targets.
+
+Entry points: ``python -m repro fleet`` on the command line, the
+``ext_fleet`` experiment, and :func:`run_fleet` from code.
+"""
+
+from repro.fleet.cache import CalibrationCache, CalibrationRecord, build_record
+from repro.fleet.planner import DeploymentPlanner, SiteAssignment, SiteRequirement
+from repro.fleet.report import DeviceResult, FleetReport, percentile
+from repro.fleet.runner import FleetRunner, FleetRunResult, run_fleet, simulate_device
+from repro.fleet.spec import (
+    DeviceSpec,
+    ENGINES,
+    FleetSpec,
+    MONITOR_KINDS,
+    POLICY_MARGINS,
+    TRACE_GENERATORS,
+    synthesize_fleet,
+)
+
+__all__ = [
+    "CalibrationCache",
+    "CalibrationRecord",
+    "build_record",
+    "DeploymentPlanner",
+    "SiteAssignment",
+    "SiteRequirement",
+    "DeviceResult",
+    "FleetReport",
+    "percentile",
+    "FleetRunner",
+    "FleetRunResult",
+    "run_fleet",
+    "simulate_device",
+    "DeviceSpec",
+    "ENGINES",
+    "FleetSpec",
+    "MONITOR_KINDS",
+    "POLICY_MARGINS",
+    "TRACE_GENERATORS",
+    "synthesize_fleet",
+]

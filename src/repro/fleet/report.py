@@ -1,0 +1,178 @@
+"""Fleet-level result aggregation.
+
+A fleet run produces one :class:`DeviceResult` per device — a frozen,
+picklable summary of the simulator's report — and a :class:`FleetReport`
+that aggregates them into the distributions a deployment planner reads:
+duty cycle, checkpoint and power-failure percentiles, plus per-sink
+energy rollups.
+
+Determinism matters here: serial and parallel runs of the same fleet
+must render byte-identical reports (the acceptance test for the
+runner), so aggregation always walks devices in id order and the
+renderer uses fixed-precision formatting only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.harvest.simulator import SimulationReport
+
+#: Metrics the report aggregates, with how to print them.
+_METRICS: Tuple[Tuple[str, str, float], ...] = (
+    # (attribute, display name, display scale)
+    ("duty_pct", "duty_pct", 1.0),
+    ("app_time", "app_time_s", 1.0),
+    ("checkpoints", "checkpoints", 1.0),
+    ("power_failures", "power_failures", 1.0),
+)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (numpy's default), dependency-free."""
+    if not values:
+        raise ConfigurationError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError("percentile q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = q / 100.0 * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    frac = position - lower
+    return float(ordered[lower] + frac * (ordered[upper] - ordered[lower]))
+
+
+@dataclass(frozen=True)
+class DeviceResult:
+    """One device's life, summarized for aggregation."""
+
+    device_id: int
+    monitor_name: str
+    policy: str
+    engine: str
+    duration: float
+    app_time: float
+    checkpoint_time: float
+    restore_time: float
+    off_time: float
+    checkpoints: int
+    power_failures: int
+    v_checkpoint: float
+    energy_by_sink: Tuple[Tuple[str, float], ...]
+    energy_harvested: float
+
+    @classmethod
+    def from_report(
+        cls,
+        device_id: int,
+        policy: str,
+        engine: str,
+        report: SimulationReport,
+    ) -> "DeviceResult":
+        return cls(
+            device_id=device_id,
+            monitor_name=report.monitor_name,
+            policy=policy,
+            engine=engine,
+            duration=report.duration,
+            app_time=report.app_time,
+            checkpoint_time=report.checkpoint_time,
+            restore_time=report.restore_time,
+            off_time=report.off_time,
+            checkpoints=report.checkpoints,
+            power_failures=report.power_failures,
+            v_checkpoint=report.v_checkpoint,
+            energy_by_sink=tuple(sorted(report.energy_by_sink.items())),
+            energy_harvested=report.energy_harvested,
+        )
+
+    @property
+    def duty(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.app_time / self.duration
+
+    @property
+    def duty_pct(self) -> float:
+        return 100.0 * self.duty
+
+
+@dataclass
+class FleetReport:
+    """Aggregate view over an id-ordered list of device results."""
+
+    fleet_name: str
+    results: List[DeviceResult] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.results = sorted(self.results, key=lambda r: r.device_id)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def metric_values(self, metric: str) -> List[float]:
+        return [float(getattr(r, metric)) for r in self.results]
+
+    def stats(self, metric: str) -> Dict[str, float]:
+        """mean / p50 / p95 / p99 of one per-device metric."""
+        values = self.metric_values(metric)
+        if not values:
+            raise ConfigurationError("fleet report has no results")
+        return {
+            "mean": sum(values) / len(values),
+            "p50": percentile(values, 50.0),
+            "p95": percentile(values, 95.0),
+            "p99": percentile(values, 99.0),
+        }
+
+    def energy_rollup(self) -> Dict[str, float]:
+        """Total joules per sink across the fleet (id order, so the
+        floating-point sum is reproducible)."""
+        totals: Dict[str, float] = {}
+        for result in self.results:
+            for sink, joules in result.energy_by_sink:
+                totals[sink] = totals.get(sink, 0.0) + joules
+        return dict(sorted(totals.items()))
+
+    def by_monitor(self) -> Dict[str, List[DeviceResult]]:
+        groups: Dict[str, List[DeviceResult]] = {}
+        for result in self.results:
+            groups.setdefault(result.monitor_name, []).append(result)
+        return dict(sorted(groups.items()))
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Fixed-precision text report (byte-stable across runs)."""
+        if not self.results:
+            return f"fleet {self.fleet_name}: (no results)"
+        lines = [
+            f"fleet {self.fleet_name}: {len(self.results)} devices, "
+            f"{self.results[0].duration:.0f} s traces"
+        ]
+        header = f"  {'metric':<16s} {'mean':>10s} {'p50':>10s} {'p95':>10s} {'p99':>10s}"
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for attr, label, _scale in _METRICS:
+            s = self.stats(attr)
+            lines.append(
+                f"  {label:<16s} {s['mean']:>10.4f} {s['p50']:>10.4f} "
+                f"{s['p95']:>10.4f} {s['p99']:>10.4f}"
+            )
+        lines.append("  energy by sink:")
+        rollup = self.energy_rollup()
+        total = sum(rollup.values())
+        for sink, joules in rollup.items():
+            share = 100.0 * joules / total if total > 0 else 0.0
+            lines.append(f"    {sink:<11s} {joules * 1e3:>10.4f} mJ ({share:5.1f}%)")
+        lines.append("  duty by monitor:")
+        for monitor_name, group in self.by_monitor().items():
+            mean_duty = sum(r.duty_pct for r in group) / len(group)
+            lines.append(
+                f"    {monitor_name:<12s} {mean_duty:>7.3f}% mean over {len(group)} device(s)"
+            )
+        return "\n".join(lines)

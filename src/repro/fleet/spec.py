@@ -1,0 +1,204 @@
+"""Fleet description: N heterogeneous devices, declaratively.
+
+The paper's pitch is *ubiquity* — thousands of cheap monitored devices
+scattered across wildly different harvesting conditions.  A fleet here
+is a list of :class:`DeviceSpec` values, each one naming (not holding)
+its technology node, monitor design, panel, capacitor, irradiance trace
+generator and runtime policy.  Keeping specs declarative and built from
+primitives makes them trivially picklable, so the runner can ship them
+to worker processes, and makes two devices with the same monitor design
+share one calibration-cache entry.
+
+:func:`synthesize_fleet` generates a deterministic heterogeneous fleet
+from a single seed — the fleet-scale analogue of the seeded trace
+generators in :mod:`repro.harvest.traces`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.harvest.traces import (
+    IrradianceTrace,
+    constant_trace,
+    diurnal_trace,
+    nyc_pedestrian_night,
+    rfid_reader_trace,
+    thermal_gradient_trace,
+)
+
+#: Monitor kinds a device can name.  ``fs`` takes custom design
+#: parameters through ``monitor_params``; the rest are parameter-free.
+MONITOR_KINDS = ("ideal", "fs_lp", "fs_hp", "fs", "comparator", "adc")
+
+#: Simulation engines (resolved in :mod:`repro.fleet.runner`).
+ENGINES = ("fast", "reference")
+
+#: Runtime checkpoint policies, expressed as the extra voltage margin
+#: software pads onto the monitor-derived checkpoint threshold.  ``jit``
+#: trusts the monitor completely (the paper's Section IV-B design);
+#: ``guarded`` and ``paranoid`` model Chinchilla-style conservatism —
+#: spare margin bought with application time.
+POLICY_MARGINS: Dict[str, float] = {
+    "jit": 0.0,
+    "guarded": 0.025,
+    "paranoid": 0.050,
+}
+
+#: Seeded trace generators a device can name: ``f(duration, seed)``.
+TRACE_GENERATORS: Dict[str, Callable[[float, int], IrradianceTrace]] = {
+    "nyc_pedestrian_night": lambda duration, seed: nyc_pedestrian_night(
+        duration=duration, seed=seed
+    ),
+    "diurnal": lambda duration, seed: diurnal_trace(duration=duration, seed=seed),
+    "rfid_reader": lambda duration, seed: rfid_reader_trace(duration=duration, seed=seed),
+    "thermal_gradient": lambda duration, seed: thermal_gradient_trace(
+        duration=duration, seed=seed
+    ),
+    "constant": lambda duration, seed: constant_trace(0.5, duration),
+}
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One deployed device: everything needed to replay its life.
+
+    All fields are primitives (names, numbers, tuples), so a spec is
+    hashable where it matters, picklable everywhere, and two devices
+    sharing a monitor design share a calibration key.
+    """
+
+    device_id: int
+    tech: str = "90nm"
+    monitor: str = "fs_lp"
+    #: Design parameters for ``monitor == "fs"`` (sorted key/value
+    #: pairs, e.g. ``(("counter_bits", 8), ("f_sample", 1000.0))``).
+    monitor_params: Tuple[Tuple[str, float], ...] = ()
+    panel_area_cm2: float = 5.0
+    capacitance: float = 47e-6
+    trace: str = "nyc_pedestrian_night"
+    trace_seed: int = 0
+    trace_duration: float = 300.0
+    #: Site irradiance multiplier (shaded courtyard vs. storefront).
+    trace_scale: float = 1.0
+    policy: str = "jit"
+    engine: str = "fast"
+    dt: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.monitor not in MONITOR_KINDS:
+            raise ConfigurationError(
+                f"unknown monitor kind {self.monitor!r}; choose from {MONITOR_KINDS}"
+            )
+        if self.monitor != "fs" and self.monitor_params:
+            raise ConfigurationError("monitor_params only apply to the 'fs' kind")
+        if self.trace not in TRACE_GENERATORS:
+            raise ConfigurationError(
+                f"unknown trace {self.trace!r}; choose from {sorted(TRACE_GENERATORS)}"
+            )
+        if self.policy not in POLICY_MARGINS:
+            raise ConfigurationError(
+                f"unknown policy {self.policy!r}; choose from {sorted(POLICY_MARGINS)}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(f"unknown engine {self.engine!r}; choose from {ENGINES}")
+        if self.panel_area_cm2 <= 0 or self.capacitance <= 0:
+            raise ConfigurationError("panel area and capacitance must be positive")
+        if self.trace_duration <= 0 or self.dt <= 0:
+            raise ConfigurationError("trace duration and dt must be positive")
+        if self.trace_scale < 0:
+            raise ConfigurationError("trace scale cannot be negative")
+
+    # ------------------------------------------------------------------
+    def calibration_key(self) -> Tuple:
+        """What makes two devices share an enrollment/monitor curve."""
+        return (self.tech, self.monitor, self.monitor_params)
+
+    def policy_margin(self) -> float:
+        return POLICY_MARGINS[self.policy]
+
+    def build_trace(self) -> IrradianceTrace:
+        trace = TRACE_GENERATORS[self.trace](self.trace_duration, self.trace_seed)
+        if self.trace_scale != 1.0:
+            trace = trace.scaled(self.trace_scale)
+        return trace
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """An ordered collection of devices plus a label for reports."""
+
+    devices: Tuple[DeviceSpec, ...]
+    name: str = "fleet"
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ConfigurationError("a fleet needs at least one device")
+        ids = [d.device_id for d in self.devices]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("device ids must be unique within a fleet")
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def calibration_keys(self) -> List[Tuple]:
+        """Unique calibration keys, in first-appearance order."""
+        seen: Dict[Tuple, None] = {}
+        for device in self.devices:
+            seen.setdefault(device.calibration_key(), None)
+        return list(seen)
+
+    def with_engine(self, engine: str) -> "FleetSpec":
+        return FleetSpec(
+            devices=tuple(replace(d, engine=engine) for d in self.devices),
+            name=self.name,
+        )
+
+
+def synthesize_fleet(
+    n_devices: int,
+    seed: int = 1,
+    duration: float = 300.0,
+    trace: str = "nyc_pedestrian_night",
+    engine: str = "fast",
+    monitors: Sequence[str] = ("fs_lp", "fs_hp", "comparator", "adc"),
+    policies: Sequence[str] = ("jit", "guarded"),
+    name: Optional[str] = None,
+) -> FleetSpec:
+    """A deterministic heterogeneous fleet from one seed.
+
+    Devices round-robin through the monitor kinds (so the calibration
+    cache has real sharing to exploit) while the physical site varies
+    per device: panel area 2-10 cm^2, buffer capacitor from the usual
+    E6 values, per-site irradiance scale 0.5-2x, and a unique trace
+    seed.  The same ``(n_devices, seed)`` always produces the same
+    fleet, which is what makes serial-vs-parallel and cache-on/off
+    comparisons meaningful.
+    """
+    if n_devices < 1:
+        raise ConfigurationError("fleet needs at least one device")
+    rng = random.Random(seed)
+    cap_choices = (22e-6, 47e-6, 100e-6, 220e-6)
+    devices = []
+    for i in range(n_devices):
+        devices.append(
+            DeviceSpec(
+                device_id=i,
+                monitor=monitors[i % len(monitors)],
+                panel_area_cm2=round(rng.uniform(2.0, 10.0), 2),
+                capacitance=rng.choice(cap_choices),
+                trace=trace,
+                trace_seed=seed * 10_000 + i,
+                trace_duration=duration,
+                trace_scale=round(rng.uniform(0.5, 2.0), 3),
+                policy=policies[i % len(policies)],
+                engine=engine,
+            )
+        )
+    return FleetSpec(
+        devices=tuple(devices),
+        name=name or f"synthetic-{n_devices}dev-seed{seed}",
+    )

@@ -81,6 +81,15 @@ class FastIntermittentSimulator(IntermittentSimulator):
                 sinks["leakage"] += p_leak * span
                 harvested += p_in * span
                 cap.apply_power(p_in, p_leak, span)
+                if span >= t_reach and cap.voltage < self.v_on:
+                    # We integrated through the computed v_on crossing, so
+                    # the voltage *is* v_on; snap it there.  The capacitor
+                    # stores voltage, and for some capacitances the
+                    # energy->voltage->energy round-trip loses the last
+                    # ulp, leaving v just under v_on and the loop re-adding
+                    # slivers of energy the sqrt round-trip discards — a
+                    # livelock (seen at 100 uF).
+                    cap.voltage = min(self.v_on, cap.v_max)
                 report.off_time += span
                 t += span
             if t >= end:

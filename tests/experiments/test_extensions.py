@@ -115,3 +115,26 @@ class TestPoliciesAcrossWorkloads:
         assert all(r["completed"] for r in result.rows)
         assert rows["just-in-time (FS)"]["power_failures"] == 0
         assert rows["timer + FS"]["power_failures"] == 0
+
+
+class TestFleet:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import ext_fleet
+
+        # Small fleet, short traces, no planner (grid sweep) — the
+        # planner path has its own tests in tests/fleet/test_planner.py.
+        return ext_fleet.run(n_devices=8, duration=30.0, include_planner=False)
+
+    def test_percentile_table_shape(self, result):
+        metrics = [r["metric"] for r in result.rows]
+        for metric in ("duty_pct", "app_time", "checkpoints", "power_failures"):
+            assert metric in metrics
+        assert all({"mean", "p50", "p95", "p99"} <= set(r) - {"metric"} for r in result.rows)
+
+    def test_no_power_failures(self, result):
+        rows = {r["metric"]: r for r in result.rows}
+        assert rows["power_failures"]["mean"] == 0.0
+
+    def test_cache_note_reports_sharing(self, result):
+        assert any("calibration" in n for n in result.notes)

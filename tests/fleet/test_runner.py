@@ -1,0 +1,98 @@
+"""Fleet execution: equivalence with the single-device API, parallel
+determinism, cache transparency, and policy effects."""
+
+import pytest
+
+from repro.fleet import (
+    CalibrationCache,
+    DeviceSpec,
+    FleetRunner,
+    FleetSpec,
+    run_fleet,
+    synthesize_fleet,
+)
+from repro.errors import ConfigurationError
+from repro.harvest import fs_low_power_monitor, nyc_pedestrian_night
+from repro.harvest.fast import FastIntermittentSimulator
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    return synthesize_fleet(8, seed=11, duration=60.0)
+
+
+class TestSingleDeviceEquivalence:
+    def test_fleet_of_one_equals_direct_run(self):
+        """A one-device fleet reproduces the plain simulator exactly."""
+        device = DeviceSpec(
+            device_id=0,
+            monitor="fs_lp",
+            trace_seed=42,
+            trace_duration=90.0,
+        )
+        outcome = run_fleet(FleetSpec(devices=(device,), name="solo"))
+        result = outcome.report.results[0]
+
+        direct = FastIntermittentSimulator(fs_low_power_monitor()).run(
+            nyc_pedestrian_night(duration=90.0, seed=42), dt=1e-3
+        )
+        assert result.app_time == direct.app_time
+        assert result.checkpoints == direct.checkpoints
+        assert result.power_failures == direct.power_failures
+        assert result.v_checkpoint == direct.v_checkpoint
+        assert dict(result.energy_by_sink) == direct.energy_by_sink
+        assert result.duty == direct.duty
+
+
+class TestParallelDeterminism:
+    def test_serial_and_parallel_reports_byte_identical(self, small_fleet):
+        serial = FleetRunner(small_fleet, jobs=1).run()
+        parallel = FleetRunner(small_fleet, jobs=2).run()
+        assert serial.report.render() == parallel.report.render()
+        assert serial.report.results == parallel.report.results
+
+    def test_repeat_runs_identical(self, small_fleet):
+        first = FleetRunner(small_fleet, jobs=1).run()
+        second = FleetRunner(small_fleet, jobs=1).run()
+        assert first.report.render() == second.report.render()
+
+
+class TestCacheTransparency:
+    def test_cache_on_off_identical_results(self, small_fleet):
+        cached = FleetRunner(small_fleet, cache=CalibrationCache()).run()
+        uncached = FleetRunner(small_fleet, cache=CalibrationCache(enabled=False)).run()
+        assert cached.report.render() == uncached.report.render()
+
+    def test_shared_designs_enroll_once(self, small_fleet):
+        cache = CalibrationCache()
+        FleetRunner(small_fleet, cache=cache).run()
+        assert len(cache) == len(small_fleet.calibration_keys())
+        assert cache.stats.misses == len(small_fleet.calibration_keys())
+
+
+class TestPolicies:
+    def test_guard_margin_raises_threshold(self):
+        base = dict(trace_seed=7, trace_duration=60.0, trace_scale=1.5)
+        devices = tuple(
+            DeviceSpec(device_id=i, policy=policy, **base)
+            for i, policy in enumerate(("jit", "guarded", "paranoid"))
+        )
+        outcome = run_fleet(FleetSpec(devices=devices, name="policies"))
+        r_jit, r_guarded, r_paranoid = outcome.report.results
+        assert r_guarded.v_checkpoint == pytest.approx(r_jit.v_checkpoint + 0.025)
+        assert r_paranoid.v_checkpoint == pytest.approx(r_jit.v_checkpoint + 0.050)
+        # The margin changes the trajectory, not just the bookkeeping.
+        assert r_paranoid.app_time != r_jit.app_time
+
+
+class TestValidation:
+    def test_jobs_must_be_positive(self, small_fleet):
+        with pytest.raises(ConfigurationError):
+            FleetRunner(small_fleet, jobs=0)
+
+    def test_reference_engine_supported(self):
+        device = DeviceSpec(
+            device_id=0, engine="reference", trace_seed=3, trace_duration=20.0
+        )
+        outcome = run_fleet(FleetSpec(devices=(device,), name="ref"))
+        assert outcome.report.results[0].engine == "reference"

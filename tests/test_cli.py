@@ -23,6 +23,42 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Table III" in out
 
-    def test_experiments_unknown_rejected(self):
-        with pytest.raises(SystemExit):
+    def test_experiments_unknown_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             main(["experiments", "nope"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "table1" in err  # available ids are listed, not a traceback
+
+    def test_experiments_mixed_known_unknown_rejected_before_running(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiments", "table3", "nope"])
+        assert excinfo.value.code == 2
+
+    def test_experiments_list(self, capsys):
+        main(["experiments", "--list"])
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "ext_fleet" in out
+
+
+class TestFleetCLI:
+    def test_fleet_smoke(self, capsys):
+        main(["fleet", "--devices", "3", "--duration", "20", "--jobs", "1"])
+        out = capsys.readouterr().out
+        assert "p95" in out
+        assert "duty_pct" in out
+        assert "3 devices" in out
+
+    def test_fleet_rejects_bad_trace(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--devices", "2", "--trace", "venus"])
+
+    def test_fleet_config_errors_exit_cleanly(self, capsys):
+        """Bad sizes surface as one-line errors, not tracebacks."""
+        for argv in (["fleet", "--devices", "0"], ["fleet", "--devices", "2", "--jobs", "0"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+            assert capsys.readouterr().err.startswith("error: ")

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.core",
     "repro.dse",
     "repro.harvest",
+    "repro.fleet",
     "repro.riscv",
     "repro.runtimes",
     "repro.soc",
