@@ -9,7 +9,12 @@ Subcommands:
 * ``monitor [--tech N] [--voltage V]`` — build the default monitor and
   print a one-shot reading with its error budget;
 * ``fleet [--devices N] [--jobs J]`` — simulate a heterogeneous device
-  fleet and print aggregate duty/checkpoint distributions.
+  fleet and print aggregate duty/checkpoint distributions plus a
+  deployment-plan preview (``--no-plan`` to skip).
+
+Every subcommand accepts the observability flags ``--trace PATH``
+(write a JSONL span/event trace) and ``--metrics`` (collect and print
+counters/gauges/histograms); see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+import repro.obs as obs
 from repro import __version__
 from repro.errors import ConfigurationError
 
@@ -65,16 +71,52 @@ def cmd_experiments(args) -> None:
     run_all(args.names or None)
 
 
-def cmd_fleet(args) -> None:
-    import time
+#: Reduced factorial grid for the CLI's deployment-plan preview: a
+#: representative sub-grid (3 ring lengths, so three physics solves)
+#: that evaluates in well under a second, versus ~12 s for the full
+#: exhaustive sweep the dse experiments run.
+_PLAN_GRID = dict(
+    lengths=(7, 13, 23),
+    f_samples=(1e3, 5e3),
+    counter_bits=(8, 12, 16),
+    t_enables=(1e-5, 5e-5),
+    nvm_entries=(64,),
+    entry_bits=(12, 16),
+)
 
+
+def _plan_preview() -> None:
+    """Match Pareto-optimal monitor designs to representative sites."""
+    from repro.dse.grid import grid_explore
+    from repro.dse.objectives import PerformanceModel
+    from repro.dse.space import DesignSpace
+    from repro.fleet import DeploymentPlanner, SiteRequirement
+    from repro.tech import TECH_90NM
+
+    model = PerformanceModel(DesignSpace(TECH_90NM))
+    grid = grid_explore(model, points=model.space.grid_points(**_PLAN_GRID))
+    planner = DeploymentPlanner(tech=TECH_90NM, model=model, candidates=grid.pareto)
+    sites = [
+        SiteRequirement(name="storefront", granularity_max=0.060, f_sample_min=1e3),
+        SiteRequirement(name="deep-shade", granularity_max=0.040, f_sample_min=2e3, trace_scale=0.4),
+        SiteRequirement(name="rooftop", granularity_max=0.080, f_sample_min=1e3, trace_scale=1.5),
+    ]
+    print(f"deployment plan ({len(grid.pareto)} Pareto designs from {grid.total_count} grid points):")
+    for site in sites:
+        try:
+            print(f"  {planner.assign(site).summary()}")
+        except ConfigurationError as exc:
+            print(f"  {site.name}: no qualifying design ({exc})")
+
+
+def cmd_fleet(args) -> None:
     from repro.fleet import CalibrationCache, FleetRunner, synthesize_fleet
 
     fleet = synthesize_fleet(
         args.devices,
         seed=args.seed,
         duration=args.duration,
-        trace=args.trace,
+        trace=args.irradiance,
         engine=args.engine,
     )
     cache = CalibrationCache(enabled=not args.no_cache, cache_dir=args.cache_dir)
@@ -85,6 +127,8 @@ def cmd_fleet(args) -> None:
         f"({len(fleet)} devices in {result.elapsed:.2f}s, jobs={result.jobs}, "
         f"calibration cache: {result.cache_summary})"
     )
+    if not args.no_plan:
+        _plan_preview()
 
 
 def cmd_monitor(args) -> None:
@@ -103,30 +147,52 @@ def cmd_monitor(args) -> None:
 
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    # Observability flags work before *or* after the subcommand.  The
+    # subparser copies default to SUPPRESS so a flag given only at the
+    # top level is not clobbered by the subparser's parse pass.
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    obs_parent.add_argument(
+        "--trace", dest="obs_trace", metavar="PATH", default=argparse.SUPPRESS,
+        help="write a JSONL span/event trace to PATH",
+    )
+    obs_parent.add_argument(
+        "--metrics", action="store_true", default=argparse.SUPPRESS,
+        help="collect counters/gauges/histograms and print them at exit",
+    )
+    parser.add_argument("--trace", dest="obs_trace", metavar="PATH", default=None,
+                        help="write a JSONL span/event trace to PATH")
+    parser.add_argument("--metrics", action="store_true", default=False,
+                        help="collect counters/gauges/histograms and print them at exit")
     sub = parser.add_subparsers(dest="command")
-    sub.add_parser("info", help="library overview")
-    exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    sub.add_parser("info", help="library overview", parents=[obs_parent])
+    exp = sub.add_parser("experiments", help="regenerate paper tables/figures", parents=[obs_parent])
     exp.add_argument("names", nargs="*", help="experiment ids (default: all)")
     exp.add_argument("--list", action="store_true", help="print available experiment ids")
-    mon = sub.add_parser("monitor", help="one-shot monitor demo")
+    mon = sub.add_parser("monitor", help="one-shot monitor demo", parents=[obs_parent])
     mon.add_argument("--tech", default="90nm", choices=["130nm", "90nm", "65nm"])
     mon.add_argument("--voltage", type=float, default=2.7)
-    flt = sub.add_parser("fleet", help="fleet-scale deployment simulation")
+    flt = sub.add_parser("fleet", help="fleet-scale deployment simulation", parents=[obs_parent])
     flt.add_argument("--devices", type=int, default=20, help="fleet size (default 20)")
     flt.add_argument("--jobs", type=int, default=1, help="worker processes (default serial)")
     flt.add_argument("--duration", type=float, default=300.0, help="trace seconds per device")
     flt.add_argument("--seed", type=int, default=1, help="fleet synthesis seed")
     flt.add_argument(
-        "--trace",
+        "--irradiance",
         default="nyc_pedestrian_night",
         choices=["nyc_pedestrian_night", "diurnal", "rfid_reader", "thermal_gradient", "constant"],
+        help="irradiance trace shape replayed by every device",
     )
     flt.add_argument("--engine", default="fast", choices=["fast", "reference"])
     flt.add_argument("--no-cache", action="store_true", help="disable the calibration cache")
     flt.add_argument("--cache-dir", default=None, help="persist calibrations to this directory")
+    flt.add_argument("--no-plan", action="store_true", help="skip the deployment-plan preview")
 
     args = parser.parse_args(argv)
     command = args.command or "info"
+    trace_path = getattr(args, "obs_trace", None)
+    metrics_on = bool(getattr(args, "metrics", False))
+    if trace_path or metrics_on:
+        obs.configure(trace_path=trace_path, metrics=metrics_on)
     try:
         {
             "info": cmd_info,
@@ -134,9 +200,14 @@ def main(argv=None) -> None:
             "monitor": cmd_monitor,
             "fleet": cmd_fleet,
         }[command](args)
+        if metrics_on:
+            print(obs.OBS.metrics.render())
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         raise SystemExit(2)
+    finally:
+        if trace_path or metrics_on:
+            obs.reset()
 
 
 if __name__ == "__main__":

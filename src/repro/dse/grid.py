@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 from repro.dse.objectives import Evaluation, PerformanceModel
 from repro.dse.pareto import pareto_front
 from repro.dse.space import DesignPoint
+from repro.obs import OBS
 
 
 @dataclass
@@ -44,15 +45,22 @@ def grid_explore(
     return the feasible Pareto set plus rejection statistics."""
     if points is None:
         points = model.space.grid_points()
-    feasible: List[Evaluation] = []
-    reasons: dict = {}
-    for point in points:
-        evaluation = model.evaluate(point)
-        if evaluation.feasible:
-            feasible.append(evaluation)
-        else:
-            reasons[evaluation.reject_reason] = reasons.get(evaluation.reject_reason, 0) + 1
-    front = pareto_front([e.objectives() for e in feasible]) if feasible else []
+    points = list(points)
+    with OBS.tracer.span("dse.grid", points=len(points), tech=model.tech.name) as span:
+        feasible: List[Evaluation] = []
+        reasons: dict = {}
+        for point in points:
+            evaluation = model.evaluate(point)
+            if evaluation.feasible:
+                feasible.append(evaluation)
+            else:
+                reasons[evaluation.reject_reason] = reasons.get(evaluation.reject_reason, 0) + 1
+        front = pareto_front([e.objectives() for e in feasible]) if feasible else []
+        span.set(feasible=len(feasible), pareto=len(front))
+    if OBS.metrics.enabled:
+        OBS.metrics.incr("dse.grid_points", len(points))
+        OBS.metrics.gauge("dse.grid_feasible", len(feasible))
+        OBS.metrics.gauge("dse.grid_pareto", len(front))
     return GridResult(
         pareto=[feasible[i] for i in front],
         feasible_count=len(feasible),

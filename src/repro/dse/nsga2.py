@@ -17,6 +17,7 @@ from repro.dse.objectives import Evaluation, PerformanceModel
 from repro.dse.pareto import crowding_distance, non_dominated_sort
 from repro.dse.space import GENOME_SIZE
 from repro.errors import ConfigurationError
+from repro.obs import OBS
 
 Genome = Tuple[float, ...]
 
@@ -67,30 +68,65 @@ class NSGA2:
     # ------------------------------------------------------------------
     def run(self) -> NSGA2Result:
         rng = random.Random(self.seed)
-        population = [self._random_genome(rng) for _ in range(self.population_size)]
-        evals = [self._evaluate(g) for g in population]
-        evaluated = len(population)
+        with OBS.tracer.span(
+            "dse.nsga2", population=self.population_size, generations=self.generations,
+            seed=self.seed,
+        ):
+            population = [self._random_genome(rng) for _ in range(self.population_size)]
+            evals = [self._evaluate(g) for g in population]
+            evaluated = len(population)
 
-        for _generation in range(self.generations):
-            ranks, crowding = self._rank(evals)
-            offspring: List[Genome] = []
-            while len(offspring) < self.population_size:
-                p1 = self._tournament(rng, ranks, crowding)
-                p2 = self._tournament(rng, ranks, crowding)
-                c1, c2 = self._crossover(rng, population[p1], population[p2])
-                offspring.append(self._mutate(rng, c1))
-                if len(offspring) < self.population_size:
-                    offspring.append(self._mutate(rng, c2))
-            off_evals = [self._evaluate(g) for g in offspring]
-            evaluated += len(offspring)
-            population, evals = self._environmental_selection(
-                population + offspring, evals + off_evals
+            for generation in range(self.generations):
+                ranks, crowding = self._rank(evals)
+                offspring: List[Genome] = []
+                while len(offspring) < self.population_size:
+                    p1 = self._tournament(rng, ranks, crowding)
+                    p2 = self._tournament(rng, ranks, crowding)
+                    c1, c2 = self._crossover(rng, population[p1], population[p2])
+                    offspring.append(self._mutate(rng, c1))
+                    if len(offspring) < self.population_size:
+                        offspring.append(self._mutate(rng, c2))
+                off_evals = [self._evaluate(g) for g in offspring]
+                evaluated += len(offspring)
+                population, evals = self._environmental_selection(
+                    population + offspring, evals + off_evals
+                )
+                self._observe_generation(generation, evals)
+            OBS.metrics.incr("dse.evaluations", evaluated)
+            return NSGA2Result(
+                evaluations=evals,
+                genomes=population,
+                generations=self.generations,
+                evaluated_total=evaluated,
             )
-        return NSGA2Result(
-            evaluations=evals,
-            genomes=population,
-            generations=self.generations,
-            evaluated_total=evaluated,
+
+    # ------------------------------------------------------------------
+    def _observe_generation(self, generation: int, evals: List[Evaluation]) -> None:
+        """Per-generation progress metrics: first-front size and a
+        hypervolume proxy (product of the front's per-objective extents
+        — cheap, monotone under front spread, good enough to watch
+        convergence)."""
+        if not OBS.enabled:
+            return
+        feasible = [e for e in evals if e.feasible]
+        front_size = 0
+        hv_proxy = 0.0
+        if feasible:
+            objs = [e.objectives() for e in feasible]
+            front = non_dominated_sort(objs)[0]
+            front_size = len(front)
+            hv_proxy = 1.0
+            for axis in range(len(objs[0])):
+                values = [objs[i][axis] for i in front]
+                hv_proxy *= max(values) - min(values) + 1e-30
+        OBS.metrics.observe("dse.front_size", front_size)
+        OBS.metrics.gauge("dse.hypervolume_proxy", hv_proxy)
+        OBS.tracer.event(
+            "dse.nsga2.generation",
+            generation=generation,
+            front_size=front_size,
+            feasible=len(feasible),
+            hypervolume_proxy=hv_proxy,
         )
 
     # ------------------------------------------------------------------
@@ -105,8 +141,12 @@ class NSGA2:
         """Constrained ranks + crowding for the whole population.
 
         Feasible members get fronts 0..k; infeasible members all share a
-        rank below every feasible front (their crowding is random-ish via
-        index, which suffices — they exist only to be replaced).
+        rank below every feasible front.  Their "crowding" is the
+        *negated constraint-violation magnitude*, so selection prefers
+        the least-violating infeasible member — a deterministic order
+        independent of where the member happens to sit in the
+        population (position-based tie-breaking made selection depend
+        on list layout, which threatened seed-reproducibility).
         """
         feasible_idx = [i for i, e in enumerate(evals) if e.feasible]
         infeasible_idx = [i for i, e in enumerate(evals) if not e.feasible]
@@ -126,7 +166,7 @@ class NSGA2:
             worst_front = 0
         for i in infeasible_idx:
             ranks[i] = worst_front + 1
-            crowd[i] = 0.0
+            crowd[i] = -evals[i].violation
         return ranks, crowd
 
     def _tournament(self, rng: random.Random, ranks: List[int], crowd: List[float]) -> int:

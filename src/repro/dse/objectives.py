@@ -56,7 +56,15 @@ from repro.units import ROOM_TEMP_K
 
 @dataclass(frozen=True)
 class Evaluation:
-    """One design point's performance, or its rejection reason."""
+    """One design point's performance, or its rejection reason.
+
+    ``violation`` quantifies *how badly* an infeasible point missed:
+    the relative excess over the violated bound (0 for feasible points,
+    1.0 for hard structural failures such as a non-oscillating ring).
+    NSGA-II's constrained ranking uses it to order infeasible members
+    deterministically — least-violating first — instead of by
+    population position.
+    """
 
     point: DesignPoint
     feasible: bool
@@ -66,6 +74,7 @@ class Evaluation:
     nvm_bytes: float = math.inf
     transistor_count: int = 0
     reject_reason: str = ""
+    violation: float = 0.0
 
     def objectives(self) -> Tuple[float, float, float, float, float]:
         """Minimization vector (sampling frequency negated)."""
@@ -177,9 +186,11 @@ class PerformanceModel:
         shifter must keep up, and the Table III performance bounds hold.
         """
         phys = self._ring_physics(point.ro_length)
-        reject = self._reject(point, phys)
+        reject, violation = self._reject(point, phys)
         if reject:
-            return Evaluation(point=point, feasible=False, reject_reason=reject)
+            return Evaluation(
+                point=point, feasible=False, reject_reason=reject, violation=violation
+            )
 
         quantization = 1.0 / (point.t_enable * phys.slope_eval)
         temperature = self.thermal_fraction / phys.rel_sens_eval
@@ -196,9 +207,19 @@ class PerformanceModel:
         nvm_bytes = point.nvm_entries * point.entry_bits / 8.0
 
         if granularity > GRANULARITY_MAX:
-            return Evaluation(point=point, feasible=False, reject_reason="granularity above Table III bound")
+            return Evaluation(
+                point=point,
+                feasible=False,
+                reject_reason="granularity above Table III bound",
+                violation=(granularity - GRANULARITY_MAX) / GRANULARITY_MAX,
+            )
         if mean_current > MEAN_CURRENT_MAX:
-            return Evaluation(point=point, feasible=False, reject_reason="mean current above Table III bound")
+            return Evaluation(
+                point=point,
+                feasible=False,
+                reject_reason="mean current above Table III bound",
+                violation=(mean_current - MEAN_CURRENT_MAX) / MEAN_CURRENT_MAX,
+            )
 
         return Evaluation(
             point=point,
@@ -210,27 +231,42 @@ class PerformanceModel:
             transistor_count=transistors,
         )
 
-    def _reject(self, point: DesignPoint, phys: _RingPhysics) -> str:
-        if point.t_enable * point.f_sample > 1.0:
-            return "duty cycle exceeds 1 (enable longer than sample period)"
+    def _reject(self, point: DesignPoint, phys: _RingPhysics) -> Tuple[str, float]:
+        """Rejection reason and violation magnitude ("" / 0.0 if fine).
+
+        Magnitudes are relative excesses over the violated bound where a
+        bound exists, and 1.0 for structural failures with no natural
+        scale (dead ring, non-monotonic map, slow level shifter).
+        """
+        duty = point.t_enable * point.f_sample
+        if duty > 1.0:
+            return "duty cycle exceeds 1 (enable longer than sample period)", duty - 1.0
         if phys.f_lo <= 0:
-            return "ring does not oscillate at minimum supply"
+            return "ring does not oscillate at minimum supply", 1.0
         if not phys.monotonic:
-            return "frequency-voltage map not monotonic over supply range"
+            return "frequency-voltage map not monotonic over supply range", 1.0
         max_count = int(phys.f_max * point.t_enable)
-        if max_count > (1 << point.counter_bits) - 1:
+        counter_cap = (1 << point.counter_bits) - 1
+        if max_count > counter_cap:
             # Stable category string so grid sweeps can aggregate.
-            return "counter overflow over enable window"
+            return "counter overflow over enable window", (max_count - counter_cap) / counter_cap
         v_lo, _v_hi = self.space.v_supply_range
         shifter = LevelShifter(self.tech)
         if not shifter.can_follow(phys.f_max, v_lo, self.temp_k):
-            return "level shifter cannot follow ring at minimum core voltage"
+            return "level shifter cannot follow ring at minimum core voltage", 1.0
         transistors = self._transistor_count(point)
         if transistors > TRANSISTOR_COUNT_MAX:
-            return f"transistor count {transistors} above Table III bound"
-        if point.nvm_entries * point.entry_bits / 8.0 > NVM_OVERHEAD_MAX_BYTES:
-            return "NVM overhead above Table III bound"
-        return ""
+            return (
+                f"transistor count {transistors} above Table III bound",
+                (transistors - TRANSISTOR_COUNT_MAX) / TRANSISTOR_COUNT_MAX,
+            )
+        nvm_bytes = point.nvm_entries * point.entry_bits / 8.0
+        if nvm_bytes > NVM_OVERHEAD_MAX_BYTES:
+            return (
+                "NVM overhead above Table III bound",
+                (nvm_bytes - NVM_OVERHEAD_MAX_BYTES) / NVM_OVERHEAD_MAX_BYTES,
+            )
+        return "", 0.0
 
     def _transistor_count(self, point: DesignPoint) -> int:
         ro = RingOscillator(self.tech, point.ro_length)

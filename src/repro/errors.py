@@ -16,7 +16,35 @@ class ConfigurationError(ReproError):
 
 
 class ConvergenceError(ReproError):
-    """A numerical solve (DC operating point, transient step) failed."""
+    """A numerical solve (DC operating point, transient step) failed.
+
+    Carries the solver's diagnostics when they are known: the transient
+    time ``t`` at which the step failed, the Newton ``iterations`` spent
+    on the final attempt, and the last ``residual_norm`` (max-abs KCL
+    residual, in amps).  Any of them may be ``None`` for callers that
+    only have a message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        t: "float | None" = None,
+        iterations: "int | None" = None,
+        residual_norm: "float | None" = None,
+    ):
+        details = []
+        if t is not None:
+            details.append(f"t={t:.6e}s")
+        if iterations is not None:
+            details.append(f"iterations={iterations}")
+        if residual_norm is not None:
+            details.append(f"residual={residual_norm:.3e}A")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+        self.t = t
+        self.iterations = iterations
+        self.residual_norm = residual_norm
 
 
 class NetlistError(ReproError):

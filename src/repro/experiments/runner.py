@@ -14,6 +14,7 @@ import time
 from typing import Callable, Dict, List
 
 from repro.experiments import ExperimentResult
+from repro.obs import OBS
 from repro.experiments import (
     ext_ablations,
     ext_capacitor,
@@ -70,6 +71,13 @@ def run_all(names: List[str] = None) -> List[ExperimentResult]:
 
     Unknown names print the available ids to stderr and exit non-zero
     (no traceback) — this is the CLI's error path.
+
+    Timings use ``time.perf_counter`` (monotonic): wall-clock
+    ``time.time`` can step backwards under NTP adjustment and used to
+    produce negative "regenerated in" durations.  Every experiment's
+    duration is also recorded in the :mod:`repro.obs` metrics layer
+    (histogram ``experiments.seconds`` plus a per-experiment gauge), and
+    a summary table prints at the end of multi-experiment runs.
     """
     chosen = names or list(EXPERIMENTS)
     unknown = [name for name in chosen if name not in EXPERIMENTS]
@@ -82,14 +90,32 @@ def run_all(names: List[str] = None) -> List[ExperimentResult]:
         print("available experiments: " + ", ".join(EXPERIMENTS), file=sys.stderr)
         raise SystemExit(2)
     results = []
+    timings: List[tuple] = []
     for name in chosen:
-        start = time.time()
-        result = EXPERIMENTS[name]()
-        elapsed = time.time() - start
+        with OBS.tracer.span("experiments.run", experiment=name):
+            start = time.perf_counter()
+            result = EXPERIMENTS[name]()
+            elapsed = time.perf_counter() - start
+        OBS.metrics.observe("experiments.seconds", elapsed)
+        OBS.metrics.gauge(f"experiments.{name}.seconds", elapsed)
         print(result.render())
         print(f"({name} regenerated in {elapsed:.1f}s)\n")
         results.append(result)
+        timings.append((name, elapsed))
+    if len(timings) > 1:
+        print(render_timing_summary(timings))
     return results
+
+
+def render_timing_summary(timings: List[tuple]) -> str:
+    """A per-experiment wall-time table (the runner's closing summary)."""
+    width = max(len(name) for name, _ in timings)
+    total = sum(elapsed for _, elapsed in timings)
+    lines = ["experiment timings:"]
+    for name, elapsed in timings:
+        lines.append(f"  {name:<{width}s}  {elapsed:8.2f}s")
+    lines.append(f"  {'total':<{width}s}  {total:8.2f}s")
+    return "\n".join(lines)
 
 
 def main() -> None:

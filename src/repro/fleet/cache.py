@@ -27,9 +27,12 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.analog.divider import VoltageDivider, build_divider_circuit, divider_tap_node
 from repro.core.config import FSConfig
 from repro.core.monitor import FailureSentinels
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.obs import OBS
+from repro.spice.solver import dc_operating_point
 from repro.harvest.monitors import (
     ADCMonitor,
     ComparatorMonitor,
@@ -62,6 +65,36 @@ class CalibrationRecord:
 
     def curve_voltages(self) -> Tuple[float, ...]:
         return tuple(v for _count, v in self.curve)
+
+
+def _enrollment_crosscheck(config: FSConfig) -> None:
+    """Device-level sanity probe on a cold enrollment.
+
+    DC-solves the divider netlist and compares the tap voltage against
+    the analytic model enrollment used.  Runs only when observability
+    is on — it is a data-quality check riding the trace, not part of
+    enrollment itself — and never fails the enrollment: a non-converged
+    solve is itself a finding worth recording.
+    """
+    if not OBS.enabled:
+        return
+    # Unit upper width: the widened production divider intentionally
+    # sits off the ideal ratio (enrollment absorbs that), so the
+    # ratio-vs-netlist comparison is only meaningful at width 1.
+    divider = VoltageDivider(config.tech, upper_width=1.0)
+    circuit = build_divider_circuit(divider, V_TYPICAL)
+    v_analytic = divider.nominal_output(V_TYPICAL)
+    with OBS.tracer.span("spice.crosscheck", circuit=circuit.title) as span:
+        try:
+            solution = dc_operating_point(circuit)
+        except ConvergenceError as err:
+            span.set(converged=False, error=str(err))
+            OBS.metrics.incr("fleet.crosscheck_failures")
+            return
+        v_spice = solution[divider_tap_node(divider)]
+        error = abs(v_spice - v_analytic) / max(v_analytic, 1e-12)
+        span.set(v_spice=v_spice, v_analytic=v_analytic, rel_error=error)
+    OBS.metrics.observe("fleet.crosscheck_rel_error", error)
 
 
 def build_record(key: Tuple) -> CalibrationRecord:
@@ -98,8 +131,12 @@ def build_record(key: Tuple) -> CalibrationRecord:
             entry_bits=config.entry_bits,
         )
 
-    fs = FailureSentinels(config)
-    table = fs.enroll()
+    with OBS.tracer.span("fleet.enroll", kind=kind, tech=tech_name) as span:
+        fs = FailureSentinels(config)
+        table = fs.enroll()
+        span.set(entries=len(table.points))
+        _enrollment_crosscheck(config)
+    OBS.metrics.incr("fleet.enrollments")
     model = MonitorModel(
         name=name,
         current=fs.mean_current(V_TYPICAL),

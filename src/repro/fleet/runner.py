@@ -31,6 +31,8 @@ from repro.harvest.fast import FastIntermittentSimulator
 from repro.harvest.monitors import MonitorModel
 from repro.harvest.panel import SolarPanel
 from repro.harvest.simulator import IntermittentSimulator
+from repro.obs import OBS, Metrics, ObsSpec, configure_from_spec
+from repro.obs import spec as obs_spec
 
 _ENGINES = {
     "fast": FastIntermittentSimulator,
@@ -63,6 +65,38 @@ def simulate_device(work: Tuple[DeviceSpec, MonitorModel]) -> DeviceResult:
         engine=device.engine,
         report=report,
     )
+
+
+def _simulate_device_obs(
+    work: Tuple[DeviceSpec, MonitorModel, ObsSpec]
+) -> Tuple[DeviceResult, dict]:
+    """Observability-aware worker: same simulation, plus telemetry.
+
+    Configures obs in the worker (idempotent, so the serial path and
+    fork-started workers pay nothing), swaps in a *task-local* Metrics
+    so the returned snapshot covers exactly this device — the parent
+    merges snapshots, which keeps counter aggregation double-count-free
+    regardless of how the executor schedules or reuses workers.
+    """
+    device, monitor, spec = work
+    configure_from_spec(spec)
+    task_metrics = Metrics(enabled=spec.metrics_enabled)
+    saved = OBS.metrics
+    OBS.metrics = task_metrics
+    try:
+        start = time.perf_counter()
+        with OBS.tracer.span(
+            "fleet.device",
+            device=device.device_id,
+            engine=device.engine,
+            policy=device.policy,
+        ):
+            result = simulate_device((device, monitor))
+        task_metrics.incr("fleet.devices")
+        task_metrics.observe("fleet.device_seconds", time.perf_counter() - start)
+        return result, task_metrics.snapshot()
+    finally:
+        OBS.metrics = saved
 
 
 @dataclass
@@ -117,13 +151,45 @@ class FleetRunner:
 
     def run(self) -> FleetRunResult:
         start = time.perf_counter()
-        work = self._work_items()
+        if not OBS.enabled:
+            # Observability off: the original, zero-overhead path.
+            work = self._work_items()
+            results = self._execute(simulate_device, work)
+            return self._finish(results, start)
+        hits0, misses0 = self.cache.stats.hits, self.cache.stats.misses
+        with OBS.tracer.span(
+            "fleet.run",
+            fleet=self.fleet.name,
+            devices=len(self.fleet.devices),
+            jobs=self.jobs,
+        ) as span:
+            work = self._work_items()
+            spec = obs_spec()
+            payload = [(device, monitor, spec) for device, monitor in work]
+            outcomes = self._execute(_simulate_device_obs, payload)
+            results = [result for result, _snapshot in outcomes]
+            for _result, snapshot in outcomes:
+                OBS.metrics.merge(snapshot)
+            run_result = self._finish(results, start)
+            span.set(
+                elapsed=run_result.elapsed,
+                cache_hits=self.cache.stats.hits - hits0,
+                cache_misses=self.cache.stats.misses - misses0,
+            )
+        OBS.metrics.incr("fleet.runs")
+        OBS.metrics.observe("fleet.elapsed", run_result.elapsed)
+        OBS.metrics.incr("fleet.cache_hits", self.cache.stats.hits - hits0)
+        OBS.metrics.incr("fleet.cache_misses", self.cache.stats.misses - misses0)
+        return run_result
+
+    def _execute(self, worker, work: List) -> List:
         if self.jobs <= 1 or len(work) <= 1:
-            results = [simulate_device(item) for item in work]
-        else:
-            chunksize = max(1, len(work) // (4 * self.jobs))
-            with ProcessPoolExecutor(max_workers=self.jobs) as executor:
-                results = list(executor.map(simulate_device, work, chunksize=chunksize))
+            return [worker(item) for item in work]
+        chunksize = max(1, len(work) // (4 * self.jobs))
+        with ProcessPoolExecutor(max_workers=self.jobs) as executor:
+            return list(executor.map(worker, work, chunksize=chunksize))
+
+    def _finish(self, results: List[DeviceResult], start: float) -> FleetRunResult:
         report = FleetReport(fleet_name=self.fleet.name, results=results)
         elapsed = time.perf_counter() - start
         return FleetRunResult(

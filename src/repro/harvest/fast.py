@@ -27,14 +27,21 @@ from typing import Optional
 
 from repro.errors import SimulationError
 from repro.harvest.capacitor import BufferCapacitor
+from repro.obs import OBS
 from repro.harvest.simulator import IntermittentSimulator, SimulationReport
 from repro.harvest.traces import IrradianceTrace
 
 
 class FastIntermittentSimulator(IntermittentSimulator):
-    """Drop-in accelerated engine (same constructor/report types)."""
+    """Drop-in accelerated engine (same constructor/report types).
 
-    def run(self, trace: IrradianceTrace, dt: float = 5e-4, v_initial: float = 0.0) -> SimulationReport:
+    Inherits the instrumented ``run()`` template from the reference
+    engine; only the integration strategy differs.
+    """
+
+    engine_name = "fast"
+
+    def _run_impl(self, trace: IrradianceTrace, dt: float, v_initial: float) -> SimulationReport:
         """Replay ``trace``; ``dt`` bounds only the *active* phases."""
         if dt <= 0:
             raise SimulationError("dt must be positive")
@@ -49,10 +56,12 @@ class FastIntermittentSimulator(IntermittentSimulator):
         harvested = 0.0
         t = 0.0
         end = trace.duration
+        steps = 0
 
         while t < end:
             # ---- OFF: closed-form charge to v_on, segment by segment --
             while t < end and cap.voltage < self.v_on:
+                steps += 1
                 seg_end = min(end, (math.floor(t / trace.dt + 1e-9) + 1) * trace.dt)
                 if seg_end - t <= 1e-12:
                     seg_end = min(end, seg_end + trace.dt)
@@ -98,7 +107,9 @@ class FastIntermittentSimulator(IntermittentSimulator):
             # ---- ON: fine integration (restore -> run -> checkpoint) --
             state = "restore"
             phase_left = self.checkpoint.restore_time
+            OBS.tracer.event("harvest.power_on", t=t, v=cap.voltage)
             while t < end and state != "off":
+                steps += 1
                 p_in = self.panel.electrical_power(trace.at(t))
                 v = cap.voltage
                 if state == "restore":
@@ -160,14 +171,18 @@ class FastIntermittentSimulator(IntermittentSimulator):
                         state = "checkpoint"
                         phase_left = self.checkpoint.checkpoint_time
                         report.checkpoints += 1
+                        OBS.tracer.event("harvest.checkpoint", t=t, v=cap.voltage)
                 elif state == "checkpoint":
                     phase_left -= step
                     if cap.voltage < self.checkpoint.v_min:
                         report.power_failures += 1
                         state = "off"
+                        OBS.tracer.event("harvest.power_failure", t=t, v=cap.voltage)
                     elif phase_left <= 0:
                         state = "off"
+                        OBS.tracer.event("harvest.power_off", t=t, v=cap.voltage)
 
+        report.steps = steps
         report.energy_by_sink = sinks
         report.energy_harvested = harvested
         report.energy_in_capacitor = cap.energy

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.harvest.capacitor import BufferCapacitor
+from repro.obs import OBS
 from repro.harvest.checkpoint import CheckpointModel
 from repro.harvest.loads import MCULoad, PeripheralLoad, MSP430FR5969, ADXL362, SYSTEM_LEAKAGE
 from repro.harvest.monitors import MonitorModel
@@ -47,6 +48,9 @@ class SimulationReport:
     off_time: float = 0.0
     checkpoints: int = 0
     power_failures: int = 0
+    #: Integration steps the engine actually took (fixed for the
+    #: reference engine, adaptive for the fast one).
+    steps: int = 0
     v_checkpoint: float = 0.0
     system_current: float = 0.0
     energy_by_sink: Dict[str, float] = field(default_factory=dict)
@@ -122,9 +126,42 @@ class IntermittentSimulator:
                 "threshold; no room to run"
             )
 
+    #: Engine label used in trace spans and reports.
+    engine_name = "reference"
+
     # ------------------------------------------------------------------
     def run(self, trace: IrradianceTrace, dt: float = 5e-4, v_initial: float = 0.0) -> SimulationReport:
-        """Replay ``trace`` and account every second and joule."""
+        """Replay ``trace`` and account every second and joule.
+
+        Instrumented template method: one ``harvest.run`` span per
+        replay, with the engine's aggregate counters (steps, on/off
+        transitions via checkpoints and power cycles) reported through
+        :mod:`repro.obs` after the engine-specific ``_run_impl``.
+        """
+        with OBS.tracer.span(
+            "harvest.run",
+            engine=self.engine_name,
+            monitor=self.monitor.name,
+            duration=trace.duration,
+            dt=dt,
+        ) as span:
+            report = self._run_impl(trace, dt, v_initial)
+            span.set(
+                steps=report.steps,
+                checkpoints=report.checkpoints,
+                power_failures=report.power_failures,
+                duty=report.duty,
+            )
+        metrics = OBS.metrics
+        if metrics.enabled:
+            metrics.incr("harvest.runs")
+            metrics.incr("harvest.steps", report.steps)
+            metrics.incr("harvest.checkpoints", report.checkpoints)
+            metrics.incr("harvest.power_failures", report.power_failures)
+            metrics.observe("harvest.duty", report.duty)
+        return report
+
+    def _run_impl(self, trace: IrradianceTrace, dt: float, v_initial: float) -> SimulationReport:
         if dt <= 0:
             raise SimulationError("dt must be positive")
         cap = BufferCapacitor(capacitance=self.capacitance, voltage=v_initial)
@@ -197,6 +234,7 @@ class IntermittentSimulator:
                 if v >= self.v_on:
                     state = "restore"
                     phase_left = self.checkpoint.restore_time
+                    OBS.tracer.event("harvest.power_on", t=t, v=v)
             elif state == "restore":
                 phase_left -= dt
                 if v < self.checkpoint.v_min:
@@ -208,6 +246,7 @@ class IntermittentSimulator:
                 if v <= self.v_ckpt:
                     state = "checkpoint"
                     report.checkpoints += 1
+                    OBS.tracer.event("harvest.checkpoint", t=t, v=v)
                     # Split the step at the threshold crossing: a discrete
                     # step overshoots the threshold by up to I*dt/C volts,
                     # which would make even the ideal monitor look "late"
@@ -229,9 +268,12 @@ class IntermittentSimulator:
                 if v < self.checkpoint.v_min:
                     report.power_failures += 1
                     state = "off"
+                    OBS.tracer.event("harvest.power_failure", t=t, v=v)
                 elif phase_left <= 0:
                     state = "off"
+                    OBS.tracer.event("harvest.power_off", t=t, v=v)
 
+        report.steps = steps
         report.energy_by_sink = sinks
         report.energy_harvested = harvested
         report.energy_in_capacitor = cap.energy

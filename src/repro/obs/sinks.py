@@ -1,0 +1,104 @@
+"""Trace sinks: where span/event records go.
+
+A sink consumes plain-dict records and must satisfy two constraints the
+rest of :mod:`repro.obs` is built around:
+
+* **Disabled is free.**  :class:`NullSink` is a do-nothing singleton;
+  the tracer checks for it once at construction and takes a no-op fast
+  path, so instrumented hot loops pay only a truthiness test.
+* **Process-safe.**  :class:`JsonlSink` must keep working after a
+  ``fork()`` (the fleet's ``ProcessPoolExecutor`` workers inherit the
+  parent's sink) and must pickle cleanly for ``spawn`` workers.  Both
+  come from the same mechanism: the file descriptor is opened lazily
+  *per pid* and is excluded from the pickled state.  Each record is
+  written with a single ``os.write`` of one newline-terminated line, so
+  concurrent writers appending to the same file cannot interleave
+  mid-record (POSIX ``O_APPEND`` semantics).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+
+class NullSink:
+    """Swallows every record.  The disabled-tracing default."""
+
+    __slots__ = ()
+
+    def emit(self, record: Dict) -> None:  # pragma: no cover - never called
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink:
+    """Collects records in a list — for tests and in-process summaries."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict] = []
+
+    def emit(self, record: Dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Appends one JSON object per line to ``path``.
+
+    Safe to share across fork/spawn worker processes: every process
+    (re)opens its own append-mode descriptor on first emit after the
+    pid changes, and every record is a single atomic ``os.write``.
+    """
+
+    def __init__(self, path: str):
+        self.path = os.fspath(path)
+        self._fd: Optional[int] = None
+        self._pid: Optional[int] = None
+        # Create the file eagerly so ``--trace PATH`` always produces
+        # one, even when the command emits no records.  Workers rebuilt
+        # via __setstate__ skip this — the parent already created it.
+        self._descriptor()
+
+    # -- pickling: descriptors never travel between processes ----------
+    def __getstate__(self) -> Dict:
+        return {"path": self.path}
+
+    def __setstate__(self, state: Dict) -> None:
+        self.path = state["path"]
+        self._fd = None
+        self._pid = None
+
+    # ------------------------------------------------------------------
+    def _descriptor(self) -> int:
+        pid = os.getpid()
+        if self._fd is None or self._pid != pid:
+            self._fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            self._pid = pid
+        return self._fd
+
+    def emit(self, record: Dict) -> None:
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True, default=str)
+        os.write(self._descriptor(), (line + "\n").encode("utf-8"))
+
+    def close(self) -> None:
+        if self._fd is not None and self._pid == os.getpid():
+            os.close(self._fd)
+        self._fd = None
+        self._pid = None
+
+
+def read_jsonl(path: str) -> List[Dict]:
+    """Load every record a :class:`JsonlSink` wrote (skips blank lines)."""
+    records: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

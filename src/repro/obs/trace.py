@@ -1,0 +1,146 @@
+"""Hierarchical spans with monotonic timings.
+
+A :class:`Tracer` produces two record types through its sink:
+
+* ``span`` — a named region with a monotonic start offset and duration
+  (``time.perf_counter``; immune to NTP steps), its parent span id, the
+  emitting pid, and free-form attributes;
+* ``event`` — a zero-duration marker attached to the current span
+  (e.g. a transient-solver restart, a power-failure).
+
+Records also carry a wall-clock timestamp (``wall``) purely for humans
+correlating traces with logs; no duration is ever derived from it.
+
+The disabled path is engineered to cost almost nothing: when the sink
+is a :class:`~repro.obs.sinks.NullSink`, ``span()`` returns a shared
+no-op context manager and ``event()`` returns immediately, so
+instrumentation can stay inline in solver and simulator code.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.sinks import NullSink
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """A live span: emits one record on exit."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id", "t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self.span_id = self.tracer._next_id()
+        self.parent_id = self.tracer._current()
+        self.tracer._stack.append(self.span_id)
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self.t0
+        stack = self.tracer._stack
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        record = {
+            "type": "span",
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "pid": os.getpid(),
+            "t0": self.t0,
+            "dur": duration,
+            "wall": time.time(),
+        }
+        if exc_type is not None:
+            record["status"] = "error"
+            record["error"] = exc_type.__name__
+        if self.attrs:
+            record["attrs"] = self.attrs
+        self.tracer.sink.emit(record)
+        return False
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (e.g. iteration counts)."""
+        self.attrs.update(attrs)
+
+
+class Tracer:
+    """Span factory bound to one sink.
+
+    Span ids are unique per (pid, tracer); the pid travels on every
+    record, so traces merged from fleet worker processes stay
+    unambiguous.  Not thread-safe by design — every worker process (and
+    the parent) owns its own call stack.
+    """
+
+    def __init__(self, sink=None):
+        self.sink = sink if sink is not None else NullSink()
+        self.enabled = not isinstance(self.sink, NullSink)
+        self._stack: List[int] = []
+        self._serial = 0
+
+    # ------------------------------------------------------------------
+    def _next_id(self) -> int:
+        self._serial += 1
+        return self._serial
+
+    def _current(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """Context manager timing a named region.
+
+        Usage::
+
+            with OBS.tracer.span("spice.transient", steps=n) as sp:
+                ...
+                sp.set(iterations=total)
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """A point-in-time marker under the current span."""
+        if not self.enabled:
+            return
+        record = {
+            "type": "event",
+            "name": name,
+            "parent": self._current(),
+            "pid": os.getpid(),
+            "t": time.perf_counter(),
+            "wall": time.time(),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self.sink.emit(record)
+
+    def close(self) -> None:
+        self.sink.close()

@@ -23,6 +23,7 @@ from repro.harvest.capacitor import BufferCapacitor
 from repro.harvest.loads import MCULoad, MSP430FR5969, SYSTEM_LEAKAGE
 from repro.harvest.panel import SolarPanel
 from repro.harvest.traces import IrradianceTrace, constant_trace
+from repro.obs import OBS
 from repro.riscv.cpu import CPU
 from repro.riscv.fs_device import FSDevice
 from repro.riscv.memory import MemoryMap, RAM_BASE
@@ -146,6 +147,35 @@ class IntermittentMachine:
     ) -> IntermittentRunResult:
         """Execute the program across power cycles until it halts."""
         trace = trace or constant_trace(5.0, max_wall_time)
+        with OBS.tracer.span(
+            "riscv.run",
+            policy=type(self.policy).__name__,
+            clock_hz=self.clock_hz,
+            v_threshold=self.v_threshold,
+        ) as span:
+            result = self._run_traced(trace, max_wall_time, max_instructions)
+            span.set(
+                completed=result.completed,
+                instructions=result.instructions,
+                power_cycles=result.power_cycles,
+                checkpoints=result.checkpoints,
+                power_failures=result.power_failures,
+            )
+        if OBS.metrics.enabled:
+            OBS.metrics.incr("riscv.runs")
+            OBS.metrics.incr("riscv.instructions", result.instructions)
+            OBS.metrics.incr("riscv.power_cycles", result.power_cycles)
+            OBS.metrics.incr("riscv.checkpoints", result.checkpoints)
+            OBS.metrics.incr("riscv.power_failures", result.power_failures)
+            OBS.metrics.observe("riscv.wall_time", result.wall_time)
+        return result
+
+    def _run_traced(
+        self,
+        trace: IrradianceTrace,
+        max_wall_time: float,
+        max_instructions: int,
+    ) -> IntermittentRunResult:
         result = IntermittentRunResult(completed=False)
         cap = BufferCapacitor(capacitance=self.capacitance, voltage=0.0)
         self.fs_device.power_cycle()
@@ -211,6 +241,12 @@ class IntermittentMachine:
                     # last checkpoint.
                     result.power_failures += 1
                     self.policy.on_power_failure(view)
+                    OBS.tracer.event(
+                        "riscv.power_failure",
+                        t=t,
+                        v=cap.voltage,
+                        lost_instructions=instructions_since_ckpt,
+                    )
                     break
                 if self.policy.decide(view) is CheckpointDecision.CHECKPOINT:
                     record = self.runtime.checkpoint()
@@ -224,6 +260,12 @@ class IntermittentMachine:
                     result.checkpoints += 1
                     result.checkpoint_time += ckpt_time
                     self.policy.on_checkpoint(view)
+                    OBS.tracer.event(
+                        "riscv.checkpoint",
+                        t=t,
+                        v=cap.voltage,
+                        instructions=instructions_since_ckpt,
+                    )
                     instructions_since_ckpt = 0
                     time_of_last_ckpt = t
                     if cap.voltage < self.v_min:

@@ -10,12 +10,14 @@ handles the strongly nonlinear MOSFET stacks.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
 from repro.errors import ConvergenceError
+from repro.obs import OBS
 from repro.spice.netlist import Circuit, GROUND
 from repro.spice.devices import VoltageSource
 from repro.spice.waveform import TransientResult
@@ -63,13 +65,28 @@ def _jacobian(circuit: Circuit, nodes: List[str], x: np.ndarray, f0: np.ndarray)
     return jac
 
 
-def _newton(circuit: Circuit, nodes: List[str], x0: np.ndarray, max_iter: int = MAX_ITERATIONS) -> Optional[np.ndarray]:
-    """Damped Newton iteration; returns the solution or None."""
+@dataclass
+class NewtonOutcome:
+    """One Newton attempt: the solution (or None) plus its diagnostics."""
+
+    x: Optional[np.ndarray]
+    iterations: int
+    residual_norm: float
+
+    @property
+    def converged(self) -> bool:
+        return self.x is not None
+
+
+def _newton(circuit: Circuit, nodes: List[str], x0: np.ndarray, max_iter: int = MAX_ITERATIONS) -> NewtonOutcome:
+    """Damped Newton iteration with convergence diagnostics."""
     x = x0.copy()
+    residual_norm = math.inf
     for iteration in range(max_iter):
         f0 = _residual_vector(circuit, nodes, x)
-        if np.max(np.abs(f0)) < RESIDUAL_TOL:
-            return x
+        residual_norm = float(np.max(np.abs(f0)))
+        if residual_norm < RESIDUAL_TOL:
+            return NewtonOutcome(x, iteration, residual_norm)
         jac = _jacobian(circuit, nodes, x, f0)
         try:
             dx = np.linalg.solve(jac, -f0)
@@ -78,16 +95,16 @@ def _newton(circuit: Circuit, nodes: List[str], x0: np.ndarray, max_iter: int = 
             try:
                 dx = np.linalg.solve(jac, -f0)
             except np.linalg.LinAlgError:
-                return None
+                return NewtonOutcome(None, iteration + 1, residual_norm)
         # Damping: limit per-iteration voltage movement to 0.5 V so the
         # exponential subthreshold region cannot fling the iterate.
         max_step = np.max(np.abs(dx))
         if max_step > 0.5:
             dx *= 0.5 / max_step
         x = x + dx
-        if max_step < UPDATE_TOL and np.max(np.abs(f0)) < 1e2 * RESIDUAL_TOL:
-            return x
-    return None
+        if max_step < UPDATE_TOL and residual_norm < 1e2 * RESIDUAL_TOL:
+            return NewtonOutcome(x, iteration + 1, residual_norm)
+    return NewtonOutcome(None, max_iter, residual_norm)
 
 
 def dc_operating_point(circuit: Circuit, initial: Optional[Mapping[str, float]] = None) -> DCSolution:
@@ -103,28 +120,47 @@ def dc_operating_point(circuit: Circuit, initial: Optional[Mapping[str, float]] 
         for i, node in enumerate(nodes):
             x0[i] = initial.get(node, 0.0)
 
-    x = _newton(circuit, nodes, x0)
-    if x is None:
-        x = _source_stepping(circuit, nodes, x0)
-    if x is None:
-        raise ConvergenceError(f"DC solve failed for {circuit.title!r}")
-    return DCSolution(voltages=_voltage_map(nodes, x), iterations=0)
+    with OBS.tracer.span("spice.dc", circuit=circuit.title) as sp:
+        outcome = _newton(circuit, nodes, x0)
+        iterations = outcome.iterations
+        if not outcome.converged:
+            OBS.metrics.incr("spice.source_stepping_fallbacks")
+            OBS.tracer.event(
+                "spice.dc.source_stepping",
+                circuit=circuit.title,
+                residual_norm=outcome.residual_norm,
+            )
+            outcome = _source_stepping(circuit, nodes, x0)
+            iterations += outcome.iterations
+        OBS.metrics.incr("spice.dc_solves")
+        OBS.metrics.incr("spice.newton_iterations", iterations)
+        sp.set(iterations=iterations)
+        if not outcome.converged:
+            OBS.metrics.incr("spice.dc_convergence_failures")
+            raise ConvergenceError(
+                f"DC solve failed for {circuit.title!r}",
+                iterations=iterations,
+                residual_norm=outcome.residual_norm,
+            )
+        return DCSolution(voltages=_voltage_map(nodes, outcome.x), iterations=iterations)
 
 
-def _source_stepping(circuit: Circuit, nodes: List[str], x0: np.ndarray) -> Optional[np.ndarray]:
+def _source_stepping(circuit: Circuit, nodes: List[str], x0: np.ndarray) -> NewtonOutcome:
     """Ramp all voltage sources from 0 to full value in steps."""
     sources = [d for d in circuit.devices if isinstance(d, VoltageSource)]
     targets = [s.voltage for s in sources]
     x = x0.copy()
+    iterations = 0
     try:
         for frac in (0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
             for src, tgt in zip(sources, targets):
                 src.voltage = tgt * frac
-            nxt = _newton(circuit, nodes, x)
-            if nxt is None:
-                return None
-            x = nxt
-        return x
+            outcome = _newton(circuit, nodes, x)
+            iterations += outcome.iterations
+            if not outcome.converged:
+                return NewtonOutcome(None, iterations, outcome.residual_norm)
+            x = outcome.x
+        return NewtonOutcome(x, iterations, outcome.residual_norm)
     finally:
         for src, tgt in zip(sources, targets):
             src.voltage = tgt
@@ -176,21 +212,51 @@ def transient(
     result.record(t, _voltage_map(nodes, x), {k: f(_voltage_map(nodes, x)) for k, f in probes.items()})
 
     steps = int(round(t_stop / dt))
-    for _ in range(steps):
-        t += dt
-        for dev in circuit.devices:
-            dev.begin_step(dt)
-        nxt = _newton(circuit, nodes, x)
-        if nxt is None:
-            # Retry once from a flat start before giving up.
-            nxt = _newton(circuit, nodes, np.zeros(len(nodes)))
-            if nxt is None:
-                raise ConvergenceError(f"transient step at t={t:.3e}s failed for {circuit.title!r}")
-        x = nxt
-        vmap = _voltage_map(nodes, x)
-        for dev in circuit.devices:
-            dev.commit_step(vmap)
-        result.record(t, vmap, {k: f(vmap) for k, f in probes.items()})
-        if on_step is not None:
-            on_step(t, vmap)
+    newton_iterations = 0
+    with OBS.tracer.span(
+        "spice.transient", circuit=circuit.title, t_stop=t_stop, dt=dt, steps=steps
+    ) as sp:
+        for _ in range(steps):
+            t += dt
+            for dev in circuit.devices:
+                dev.begin_step(dt)
+            outcome = _newton(circuit, nodes, x)
+            newton_iterations += outcome.iterations
+            if not outcome.converged:
+                # Retry once from a flat start before giving up.  A
+                # restart can converge onto a *different* DC branch than
+                # the trajectory was on, so it is never silent: it is
+                # counted, traced, and recorded on the result for
+                # callers to inspect.
+                failed = outcome
+                OBS.metrics.incr("spice.step_convergence_failures")
+                outcome = _newton(circuit, nodes, np.zeros(len(nodes)))
+                newton_iterations += outcome.iterations
+                if not outcome.converged:
+                    OBS.metrics.incr("spice.transient_aborts")
+                    raise ConvergenceError(
+                        f"transient step failed for {circuit.title!r}",
+                        t=t,
+                        iterations=failed.iterations + outcome.iterations,
+                        residual_norm=outcome.residual_norm,
+                    )
+                result.restarts.append(t)
+                OBS.metrics.incr("spice.transient_restarts")
+                OBS.tracer.event(
+                    "spice.transient.restart",
+                    circuit=circuit.title,
+                    t=t,
+                    iterations=failed.iterations,
+                    residual_norm=failed.residual_norm,
+                )
+            x = outcome.x
+            vmap = _voltage_map(nodes, x)
+            for dev in circuit.devices:
+                dev.commit_step(vmap)
+            result.record(t, vmap, {k: f(vmap) for k, f in probes.items()})
+            if on_step is not None:
+                on_step(t, vmap)
+        OBS.metrics.incr("spice.transient_steps", steps)
+        OBS.metrics.incr("spice.newton_iterations", newton_iterations)
+        sp.set(iterations=newton_iterations, restarts=len(result.restarts))
     return result

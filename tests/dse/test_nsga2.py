@@ -77,3 +77,52 @@ class TestOptimizationQuality:
         # current and near-parity on granularity.
         assert nsga_best_current < 8 * grid_best_current
         assert nsga_best_gran < 1.4 * grid_best_gran
+
+
+class TestInfeasibleCrowdingDeterminism:
+    """Regression: infeasible members used position-dependent crowding,
+    which threatened seed-reproducibility of selection.  Crowding is now
+    the negated constraint-violation magnitude."""
+
+    def test_infeasible_crowding_is_negated_violation(self, model):
+        from repro.dse.space import DesignPoint
+        nsga = NSGA2(model, population_size=8, generations=1)
+        # One feasible-shaped eval plus two infeasible with known violations.
+        evals = [
+            model.evaluate(DesignPoint(7, 1e3, 10, 2e-6, 64, 10)),
+            model.evaluate(DesignPoint(7, 1e4, 4, 1e-4, 64, 10)),   # counter overflow
+            model.evaluate(DesignPoint(73, 1e4, 16, 1e-4, 128, 16)),
+        ]
+        infeasible = [e for e in evals if not e.feasible]
+        assert infeasible, "fixture should include infeasible points"
+        ranks, crowd = nsga._rank(evals)
+        for i, e in enumerate(evals):
+            if not e.feasible:
+                assert crowd[i] == -e.violation
+                assert e.violation > 0.0
+
+    def test_least_violating_infeasible_preferred(self, model):
+        """Environmental selection keeps the smaller violation when
+        forced to choose among infeasible members."""
+        from repro.dse.space import DesignPoint
+        nsga = NSGA2(model, population_size=4, generations=1)
+        # Same reject category, different magnitudes (longer enable
+        # window -> more counter overflow).
+        mild = model.evaluate(DesignPoint(7, 1e4, 4, 2e-5, 64, 10))
+        severe = model.evaluate(DesignPoint(7, 1e4, 4, 1e-4, 64, 10))
+        assert not mild.feasible and not severe.feasible
+        assert mild.violation < severe.violation
+        feasible_point = DesignPoint(7, 1e3, 10, 2e-6, 64, 10)
+        genomes = [(0.1,) * 6, (0.2,) * 6, (0.3,) * 6, (0.4,) * 6, (0.5,) * 6]
+        evals = [model.evaluate(feasible_point)] * 3 + [severe, mild]
+        chosen_genomes, chosen_evals = nsga._environmental_selection(genomes, evals)
+        kept_infeasible = [e for e in chosen_evals if not e.feasible]
+        assert kept_infeasible == [mild]
+
+    def test_fixed_seed_repeat_run_pareto_identical(self, model):
+        """The ISSUE's acceptance test: same seed, same Pareto front."""
+        a = NSGA2(model, population_size=12, generations=4, seed=11).run()
+        b = NSGA2(model, population_size=12, generations=4, seed=11).run()
+        pa = [(e.point.as_tuple(), e.objectives()) for e in a.pareto()]
+        pb = [(e.point.as_tuple(), e.objectives()) for e in b.pareto()]
+        assert pa == pb

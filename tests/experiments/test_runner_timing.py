@@ -1,0 +1,81 @@
+"""Regression: experiment timing must be monotonic (perf_counter).
+
+The runner used to time experiments with wall-clock ``time.time()``,
+which steps under NTP adjustment and could report negative durations.
+These tests pin the fix: the runner touches no wall clock at all, and a
+backwards-stepping ``time.time`` cannot corrupt the printed timings or
+the recorded metrics.
+"""
+
+import pytest
+
+import repro.obs as obs
+from repro.experiments import runner
+
+
+class _MonotonicOnlyTime:
+    """A ``time`` stand-in that forbids wall-clock reads."""
+
+    def __init__(self, real_time):
+        self._real = real_time
+
+    def perf_counter(self):
+        return self._real.perf_counter()
+
+    def time(self):  # pragma: no cover - the assertion is the point
+        raise AssertionError("runner must not use non-monotonic time.time()")
+
+
+class TestRunnerTiming:
+    def test_runner_never_reads_wall_clock(self, monkeypatch, capsys):
+        import time as real_time
+
+        monkeypatch.setattr(runner, "time", _MonotonicOnlyTime(real_time))
+        results = runner.run_all(["table3"])
+        assert len(results) == 1
+        out = capsys.readouterr().out
+        assert "regenerated in" in out
+
+    def test_backwards_wall_clock_cannot_go_negative(self, monkeypatch, capsys):
+        """Even with time.time() running backwards, durations stay >= 0."""
+        import time as real_time
+
+        class _SteppingClock:
+            def __init__(self):
+                self._wall = 1e9
+
+            def perf_counter(self):
+                return real_time.perf_counter()
+
+            def time(self):
+                self._wall -= 3600.0  # an NTP step backwards on every read
+                return self._wall
+
+        monkeypatch.setattr(runner, "time", _SteppingClock())
+        obs.configure(metrics=True)
+        try:
+            runner.run_all(["table3"])
+            hist = obs.OBS.metrics.histogram("experiments.seconds")
+            assert hist is not None and hist["count"] == 1
+            assert hist["min"] >= 0.0
+            assert obs.OBS.metrics.gauge_value("experiments.table3.seconds") >= 0.0
+        finally:
+            obs.reset()
+        out = capsys.readouterr().out
+        assert "regenerated in -" not in out
+
+    def test_multi_experiment_summary_table(self, capsys):
+        runner.run_all(["table1", "table3"])
+        out = capsys.readouterr().out
+        assert "experiment timings:" in out
+        assert "total" in out
+
+    def test_single_experiment_skips_summary(self, capsys):
+        runner.run_all(["table3"])
+        out = capsys.readouterr().out
+        assert "experiment timings:" not in out
+
+    def test_render_timing_summary_totals(self):
+        table = runner.render_timing_summary([("a", 1.25), ("bb", 0.75)])
+        assert "a " in table and "bb" in table
+        assert "2.00s" in table

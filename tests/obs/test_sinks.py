@@ -1,0 +1,108 @@
+"""Sinks: JSONL round-trips, pickling, and configure()/reset() wiring."""
+
+import json
+import pickle
+
+import repro.obs as obs
+from repro.obs import JsonlSink, MemorySink, ObsSpec, Tracer, read_jsonl
+
+
+class TestJsonlRoundTrip:
+    def test_spans_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path)
+        tracer = Tracer(sink)
+        with tracer.span("outer", label="x"):
+            tracer.event("marker", value=3)
+        tracer.close()
+
+        records = read_jsonl(path)
+        assert [r["type"] for r in records] == ["event", "span"]
+        span = records[1]
+        assert span["name"] == "outer"
+        assert span["attrs"] == {"label": "x"}
+        assert span["dur"] >= 0.0
+
+    def test_append_mode_across_reopens(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        for i in range(2):
+            sink = JsonlSink(path)
+            sink.emit({"type": "event", "i": i})
+            sink.close()
+        assert [r["i"] for r in read_jsonl(path)] == [0, 1]
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path)
+        sink.emit({"nested": {"a": [1, 2]}, "text": "x\ny"})
+        sink.close()
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 1
+        assert json.loads(lines[0])["text"] == "x\ny"
+
+    def test_unjsonable_values_stringified(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path)
+        sink.emit({"obj": object()})
+        sink.close()
+        (rec,) = read_jsonl(path)
+        assert isinstance(rec["obj"], str)
+
+    def test_pickles_without_descriptor(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path)
+        sink.emit({"warm": 1})  # opens the fd
+        clone = pickle.loads(pickle.dumps(sink))
+        assert clone.path == sink.path
+        assert clone._fd is None
+        clone.emit({"from_clone": 1})  # reopens lazily, appends
+        clone.close()
+        sink.close()
+        assert len(read_jsonl(path)) == 2
+
+
+class TestConfigure:
+    def teardown_method(self):
+        obs.reset()
+
+    def test_defaults_disabled(self):
+        obs.reset()
+        assert not obs.OBS.enabled
+        assert obs.spec() == ObsSpec()
+
+    def test_configure_arms_both_halves(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.configure(trace_path=path, metrics=True)
+        assert obs.OBS.tracer.enabled
+        assert obs.OBS.metrics.enabled
+        assert obs.spec() == ObsSpec(trace_path=path, metrics_enabled=True)
+
+    def test_memory_sink_override(self):
+        sink = MemorySink()
+        obs.configure(sink=sink)
+        with obs.OBS.tracer.span("s"):
+            pass
+        assert sink.records[0]["name"] == "s"
+        # A non-JSONL sink cannot be reconstructed in a worker, so the
+        # shipped spec must not claim a trace path.
+        assert obs.spec().trace_path is None
+
+    def test_configure_from_spec_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.configure(trace_path=path)
+        tracer_before = obs.OBS.tracer
+        obs.configure_from_spec(obs.spec())
+        assert obs.OBS.tracer is tracer_before  # no churn when equal
+
+    def test_configure_from_spec_applies_fresh(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.reset()
+        obs.configure_from_spec(ObsSpec(trace_path=path, metrics_enabled=True))
+        assert obs.OBS.tracer.enabled
+        assert obs.OBS.metrics.enabled
+
+    def test_reset_restores_disabled(self, tmp_path):
+        obs.configure(trace_path=str(tmp_path / "t.jsonl"), metrics=True)
+        obs.reset()
+        assert not obs.OBS.enabled

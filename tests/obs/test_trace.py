@@ -1,0 +1,96 @@
+"""The tracer: span nesting, events, error status, the disabled path."""
+
+import pytest
+
+from repro.obs import MemorySink, NullSink, Tracer
+from repro.obs.trace import _NOOP_SPAN
+
+
+class TestSpanNesting:
+    def test_child_records_parent_id(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner_rec, outer_rec = sink.records
+        assert inner_rec["name"] == "inner"
+        assert outer_rec["name"] == "outer"
+        assert inner_rec["parent"] == outer_rec["id"]
+        assert outer_rec["parent"] is None
+
+    def test_siblings_share_a_parent(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, root = sink.records
+        assert a["parent"] == root["id"]
+        assert b["parent"] == root["id"]
+        assert a["id"] != b["id"]
+
+    def test_event_attaches_to_current_span(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("run"):
+            tracer.event("restart", t=1.5)
+        event, span = sink.records
+        assert event["type"] == "event"
+        assert event["parent"] == span["id"]
+        assert event["attrs"] == {"t": 1.5}
+
+    def test_durations_are_nonnegative_and_nested(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = sink.records
+        assert 0.0 <= inner["dur"] <= outer["dur"]
+
+    def test_set_merges_attributes(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("s", fixed=1) as sp:
+            sp.set(discovered=2)
+        (rec,) = sink.records
+        assert rec["attrs"] == {"fixed": 1, "discovered": 2}
+
+    def test_exception_marks_span_and_propagates(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("boom")
+        (rec,) = sink.records
+        assert rec["status"] == "error"
+        assert rec["error"] == "ValueError"
+
+
+class TestDisabledPath:
+    def test_nullsink_tracer_is_disabled(self):
+        tracer = Tracer(NullSink())
+        assert not tracer.enabled
+
+    def test_disabled_span_is_the_shared_noop(self):
+        tracer = Tracer(NullSink())
+        # No per-call allocation: the very same object every time.
+        assert tracer.span("a") is _NOOP_SPAN
+        assert tracer.span("b", attr=1) is _NOOP_SPAN
+
+    def test_noop_span_accepts_the_full_protocol(self):
+        tracer = Tracer(NullSink())
+        with tracer.span("x") as sp:
+            sp.set(anything=1)
+        tracer.event("e", t=0)  # swallowed, no error
+
+    def test_disabled_event_emits_nothing(self):
+        sink = NullSink()
+        tracer = Tracer(sink)
+        tracer.event("e")
+        # NullSink has no storage at all (slots) — nothing to assert on
+        # beyond "did not raise"; the MemorySink twin proves emission.
+        assert not hasattr(sink, "records")

@@ -18,6 +18,8 @@ from repro.spice import (
     transient,
 )
 from repro.tech import TECH_90NM
+import repro.obs as obs
+from repro.spice import solver
 
 
 def resistor_divider(v=3.0, r1=1e3, r2=2e3):
@@ -135,3 +137,81 @@ class TestSourceStepping:
         source = c.device("V1")
         dc_operating_point(c)
         assert source.voltage == 3.0
+
+
+class TestTransientRestartSurfaced:
+    """A failed transient step that recovers from a flat restart used to
+    be invisible; it must now be counted, traced, and recorded."""
+
+    @staticmethod
+    def _rc_circuit():
+        c = Circuit("rc-restart")
+        c.add(VoltageSource("V1", "in", GROUND, 1.0))
+        c.add(Resistor("R", "in", "out", 1e3))
+        c.add(Capacitor("C", "out", GROUND, 1e-6))
+        return c
+
+    def _fail_nth_step(self, monkeypatch, fail_calls):
+        """Make solver._newton fail on the given call numbers (1-based)."""
+        real = solver._newton
+        calls = {"n": 0}
+
+        def flaky(circuit, nodes, x0, max_iter=solver.MAX_ITERATIONS):
+            calls["n"] += 1
+            if calls["n"] in fail_calls:
+                return solver.NewtonOutcome(None, 7, 1.23e-3)
+            return real(circuit, nodes, x0, max_iter)
+
+        monkeypatch.setattr(solver, "_newton", flaky)
+
+    def test_restart_recorded_on_result(self, monkeypatch):
+        self._fail_nth_step(monkeypatch, {3})
+        res = transient(
+            self._rc_circuit(), t_stop=1e-4, dt=1e-5,
+            initial={"in": 1.0, "out": 0.0},
+        )
+        assert res.restarts == [pytest.approx(3e-5)]
+
+    def test_restart_traced_and_counted(self, monkeypatch):
+        self._fail_nth_step(monkeypatch, {2})
+        sink = obs.MemorySink()
+        obs.configure(metrics=True, sink=sink)
+        try:
+            transient(
+                self._rc_circuit(), t_stop=1e-4, dt=1e-5,
+                initial={"in": 1.0, "out": 0.0},
+            )
+            assert obs.OBS.metrics.counter("spice.transient_restarts") == 1
+            assert obs.OBS.metrics.counter("spice.step_convergence_failures") == 1
+            events = [r for r in sink.records if r["name"] == "spice.transient.restart"]
+            assert len(events) == 1
+            assert events[0]["attrs"]["t"] == pytest.approx(2e-5)
+            assert events[0]["attrs"]["iterations"] == 7
+            assert events[0]["attrs"]["residual_norm"] == pytest.approx(1.23e-3)
+        finally:
+            obs.reset()
+
+    def test_unrecoverable_step_carries_diagnostics(self, monkeypatch):
+        # Both the step attempt and the flat restart fail.
+        self._fail_nth_step(monkeypatch, {4, 5})
+        with pytest.raises(ConvergenceError) as excinfo:
+            transient(
+                self._rc_circuit(), t_stop=1e-4, dt=1e-5,
+                initial={"in": 1.0, "out": 0.0},
+            )
+        err = excinfo.value
+        assert err.t == pytest.approx(4e-5)
+        assert err.iterations == 14  # both failed attempts' iterations
+        assert err.residual_norm == pytest.approx(1.23e-3)
+        assert "t=" in str(err) and "residual" in str(err)
+
+    def test_clean_run_has_no_restarts(self):
+        res = transient(
+            self._rc_circuit(), t_stop=1e-4, dt=1e-5,
+            initial={"in": 1.0, "out": 0.0},
+        )
+        assert res.restarts == []
+
+    def test_dc_solution_reports_iterations(self):
+        op = dc_operating_point(resistor_divider())
+        assert op.iterations > 0

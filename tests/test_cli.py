@@ -51,9 +51,9 @@ class TestFleetCLI:
         assert "duty_pct" in out
         assert "3 devices" in out
 
-    def test_fleet_rejects_bad_trace(self):
+    def test_fleet_rejects_bad_irradiance(self):
         with pytest.raises(SystemExit):
-            main(["fleet", "--devices", "2", "--trace", "venus"])
+            main(["fleet", "--devices", "2", "--irradiance", "venus"])
 
     def test_fleet_config_errors_exit_cleanly(self, capsys):
         """Bad sizes surface as one-line errors, not tracebacks."""
