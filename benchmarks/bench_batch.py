@@ -1,0 +1,114 @@
+"""Batch-kernel speedup: the ``repro.batch`` acceptance benchmark.
+
+Replays the DSE-shaped workload the kernel was built for — one shared
+trace, many nearby platform designs — at N in {1, 16, 256} through the
+scalar engine and the vectorized lockstep kernel, asserting bit-exact
+agreement and the headline >=5x speedup at N=256.  Results land in
+``benchmarks/results/batch_speedup.txt`` (CI uploads the directory as
+an artifact).
+
+Small N is *expected* to be near or below 1x — the kernel's
+per-iteration numpy overhead only amortizes in bulk, which is exactly
+why ``engine="auto"`` keeps inputs under ``AUTO_BATCH_MIN`` scalar.
+"""
+
+import time
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.batch import Scenario, evaluate_many
+from repro.harvest.monitors import (
+    ADCMonitor,
+    ComparatorMonitor,
+    fs_high_performance_monitor,
+    fs_low_power_monitor,
+)
+from repro.harvest.traces import nyc_pedestrian_night
+
+SPEEDUP_FLOOR_256 = 5.0
+SIZES = (1, 16, 256)
+
+FIELDS = [
+    "app_time", "checkpoint_time", "restore_time", "off_time",
+    "checkpoints", "power_failures", "steps",
+    "energy_harvested", "energy_in_capacitor",
+]
+
+
+def sweep_scenarios(n):
+    """A capacitor/monitor sweep over one trace (the DSE hot loop)."""
+    monitors = [
+        fs_low_power_monitor(),
+        fs_high_performance_monitor(),
+        ComparatorMonitor(),
+        ADCMonitor(),
+    ]
+    trace = nyc_pedestrian_night(60.0, seed=42)
+    return [
+        Scenario(
+            monitor=monitors[i % 4],
+            trace=trace,
+            capacitance=47e-6 * (1 + 0.001 * (i // 4)),
+        )
+        for i in range(n)
+    ]
+
+
+def _time_once(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _time_pair(scalar_fn, batch_fn, repeats=5):
+    """Best-of-N with the two paths interleaved, so a transient load
+    spike on the box cannot land on every sample of one side."""
+    t_scalar = t_batch = float("inf")
+    scalar = batch = None
+    for _ in range(repeats):
+        elapsed, scalar = _time_once(scalar_fn)
+        t_scalar = min(t_scalar, elapsed)
+        elapsed, batch = _time_once(batch_fn)
+        t_batch = min(t_batch, elapsed)
+    return t_scalar, scalar, t_batch, batch
+
+
+def test_batch_speedup(results_dir):
+    # Warm both paths (imports, trace caches, numpy) off the clock.
+    warm = sweep_scenarios(4)
+    [s.run_scalar() for s in warm]
+    evaluate_many(warm, engine="batch")
+
+    lines = ["batch kernel vs scalar engine (DSE sweep workload)"]
+    speedups = {}
+    for n in SIZES:
+        scenarios = sweep_scenarios(n)
+        t_scalar, scalar, t_batch, batch = _time_pair(
+            lambda: [s.run_scalar() for s in scenarios],
+            lambda: evaluate_many(scenarios, engine="batch"),
+        )
+
+        mismatches = sum(
+            1
+            for a, b in zip(scalar, batch)
+            for f in FIELDS
+            if getattr(a, f) != getattr(b, f)
+        )
+        speedups[n] = t_scalar / t_batch
+        lines.append(
+            f"  N={n:4d}  scalar {t_scalar * 1e3:9.1f} ms  "
+            f"batch {t_batch * 1e3:9.1f} ms  speedup {speedups[n]:5.2f}x  "
+            f"mismatches {mismatches}"
+        )
+        assert mismatches == 0, f"N={n}: {mismatches} scalar/batch field mismatches"
+
+    lines.append(f"  floor: >={SPEEDUP_FLOOR_256:.1f}x at N=256")
+    (results_dir / "batch_speedup.txt").write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print("\n" + "\n".join(lines))
+
+    assert speedups[256] >= SPEEDUP_FLOOR_256, (
+        f"batch kernel {speedups[256]:.2f}x at N=256 — "
+        f"below the {SPEEDUP_FLOOR_256:.1f}x acceptance floor"
+    )

@@ -21,7 +21,7 @@ from repro.harvest import (
     fs_low_power_monitor,
     nyc_pedestrian_night,
 )
-from repro.harvest.simulator import compare_monitors, normalized_app_time
+from repro.api import compare_monitors, normalized_app_time
 
 
 def main() -> None:

@@ -36,7 +36,25 @@ from repro.tech import TECH_130NM, TECH_90NM, TECH_65NM, ALL_NODES, get_technolo
 from repro.analog import RingOscillator, VoltageDivider, LevelShifter, SARADC, AnalogComparator
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Names forwarded lazily from :mod:`repro.api` (PEP 562): the facade
+#: pulls in the harvest/dse/fleet/batch stack, which a bare
+#: ``import repro`` should not pay for.
+_API_EXPORTS = (
+    "IntermittentSimulator",
+    "FastIntermittentSimulator",
+    "SimulationReport",
+    "Scenario",
+    "evaluate_many",
+    "compare_monitors",
+    "normalized_app_time",
+    "run_fleet",
+    "explore_grid",
+    "nsga2",
+    "run_experiments",
+    "BATCH_RTOL",
+)
 
 __all__ = [
     "FailureSentinels",
@@ -52,5 +70,15 @@ __all__ = [
     "SARADC",
     "AnalogComparator",
     "ReproError",
+    "api",
+    *_API_EXPORTS,
     "__version__",
 ]
+
+
+def __getattr__(name):
+    if name == "api" or name in _API_EXPORTS:
+        import repro.api as api
+
+        return api if name == "api" else getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -68,7 +68,7 @@ def cmd_experiments(args) -> None:
         for name in EXPERIMENTS:
             print(f"  {name}", file=sys.stderr)
         raise SystemExit(2)
-    run_all(args.names or None)
+    run_all(args.names or None, json_path=args.json)
 
 
 #: Reduced factorial grid for the CLI's deployment-plan preview: a
@@ -120,13 +120,21 @@ def cmd_fleet(args) -> None:
         engine=args.engine,
     )
     cache = CalibrationCache(enabled=not args.no_cache, cache_dir=args.cache_dir)
-    runner = FleetRunner(fleet, jobs=args.jobs, cache=cache)
+    runner = FleetRunner(
+        fleet, jobs=args.jobs, cache=cache, eval_engine=args.eval_engine
+    )
     result = runner.run()
     print(result.report.render())
     print(
         f"({len(fleet)} devices in {result.elapsed:.2f}s, jobs={result.jobs}, "
         f"calibration cache: {result.cache_summary})"
     )
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.report.to_dict(), fh, indent=2)
+        print(f"(wrote the fleet report to {args.json})")
     if not args.no_plan:
         _plan_preview()
 
@@ -168,6 +176,8 @@ def main(argv=None) -> None:
     exp = sub.add_parser("experiments", help="regenerate paper tables/figures", parents=[obs_parent])
     exp.add_argument("names", nargs="*", help="experiment ids (default: all)")
     exp.add_argument("--list", action="store_true", help="print available experiment ids")
+    exp.add_argument("--json", metavar="PATH", default=None,
+                     help="also write the results as a JSON list to PATH")
     mon = sub.add_parser("monitor", help="one-shot monitor demo", parents=[obs_parent])
     mon.add_argument("--tech", default="90nm", choices=["130nm", "90nm", "65nm"])
     mon.add_argument("--voltage", type=float, default=2.7)
@@ -183,6 +193,13 @@ def main(argv=None) -> None:
         help="irradiance trace shape replayed by every device",
     )
     flt.add_argument("--engine", default="fast", choices=["fast", "reference"])
+    flt.add_argument(
+        "--eval-engine", default="auto", choices=["auto", "scalar", "batch"],
+        help="per-device evaluation dispatch (default auto: batch when numpy "
+             "is available and the chunk is large enough)",
+    )
+    flt.add_argument("--json", metavar="PATH", default=None,
+                     help="also write the fleet report as JSON to PATH")
     flt.add_argument("--no-cache", action="store_true", help="disable the calibration cache")
     flt.add_argument("--cache-dir", default=None, help="persist calibrations to this directory")
     flt.add_argument("--no-plan", action="store_true", help="skip the deployment-plan preview")

@@ -1,0 +1,157 @@
+"""The stable public API (``repro.api``) — the blessed surface.
+
+Everything a downstream user needs lives behind this one module, with
+semantics guaranteed across 1.x releases (see ``docs/api.md``):
+
+* **the monitor** — :class:`FailureSentinels` / :class:`FSConfig`;
+* **single-scenario simulation** — :class:`IntermittentSimulator`
+  (reference engine) and :class:`FastIntermittentSimulator`;
+* **bulk evaluation** — :class:`Scenario` + :func:`evaluate_many`, the
+  engine-selecting front door over the scalar engines and the
+  numpy-vectorized lockstep kernel (:mod:`repro.batch`);
+* **fleets** — :func:`run_fleet` / :class:`FleetRunner`;
+* **design-space exploration** — :func:`explore_grid` and
+  :func:`nsga2` over a :class:`PerformanceModel`;
+* **the paper's evaluation** — :func:`run_experiments`.
+
+Entry points that predate this module (``repro.harvest.simulator.
+compare_monitors``, ``repro.fleet.runner.simulate_device``, …) keep
+working for one release behind :class:`DeprecationWarning` shims.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.batch import (
+    AUTO_BATCH_MIN,
+    BATCH_RTOL,
+    ENGINES,
+    Scenario,
+    evaluate_many,
+    resolve_engine,
+)
+from repro.core import FailureSentinels, FSConfig
+from repro.dse.grid import GridResult, grid_explore
+from repro.dse.nsga2 import NSGA2, NSGA2Result
+from repro.dse.objectives import Evaluation, PerformanceModel
+from repro.dse.space import DesignPoint, DesignSpace
+from repro.errors import SimulationError
+from repro.fleet.report import DeviceResult, FleetReport
+from repro.fleet.runner import FleetRunner, FleetRunResult, run_fleet
+from repro.fleet.spec import DeviceSpec, FleetSpec, synthesize_fleet
+from repro.harvest.fast import FastIntermittentSimulator
+from repro.harvest.monitors import MonitorModel
+from repro.harvest.simulator import IntermittentSimulator, SimulationReport
+from repro.harvest.traces import IrradianceTrace
+
+#: Grid exploration under its blessed name (``grid_explore`` remains an
+#: alias for pre-1.1 imports).
+explore_grid = grid_explore
+
+
+def compare_monitors(
+    monitors: Sequence[MonitorModel],
+    trace: IrradianceTrace,
+    dt: float = 5e-4,
+    *,
+    engine: str = "auto",
+    scalar_engine: str = "reference",
+    parallel: Optional[int] = None,
+    v_initial: float = 0.0,
+    **platform,
+) -> List[SimulationReport]:
+    """Replay the same platform/trace once per monitor.
+
+    ``scalar_engine`` picks the simulation semantics: ``"reference"``
+    (fixed-step; the pre-1.1 default, always evaluated scalar) or
+    ``"fast"`` (adaptive-step, eligible for the batch kernel).
+    ``engine`` is :func:`evaluate_many`'s dispatch choice.  Remaining
+    keyword arguments (``panel``, ``capacitance``, ``mcu``,
+    ``peripherals``, ``checkpoint``, ``v_on``, ``leakage``) describe the
+    platform, exactly as the pre-1.1 ``compare_monitors`` accepted them.
+    """
+    if "peripherals" in platform:
+        platform["peripherals"] = tuple(platform["peripherals"])
+    scenarios = [
+        Scenario(
+            monitor=monitor,
+            trace=trace,
+            dt=dt,
+            v_initial=v_initial,
+            scalar_engine=scalar_engine,
+            **platform,
+        )
+        for monitor in monitors
+    ]
+    return evaluate_many(scenarios, engine=engine, parallel=parallel)
+
+
+def normalized_app_time(
+    reports: Sequence[SimulationReport], baseline_name: str = "Ideal"
+) -> Dict[str, float]:
+    """Figure 8's metric: app time relative to the ideal monitor."""
+    base = next((r for r in reports if r.monitor_name == baseline_name), None)
+    if base is None or base.app_time <= 0:
+        raise SimulationError(f"no usable baseline report named {baseline_name!r}")
+    return {r.monitor_name: r.app_time / base.app_time for r in reports}
+
+
+def nsga2(model_or_space, **kwargs) -> NSGA2Result:
+    """Run NSGA-II over a :class:`PerformanceModel` (or a
+    :class:`DesignSpace`, from which a model is built) and return the
+    final population.  Keyword arguments forward to :class:`NSGA2`."""
+    if isinstance(model_or_space, PerformanceModel):
+        model = model_or_space
+    else:
+        model = PerformanceModel(model_or_space)
+    return NSGA2(model=model, **kwargs).run()
+
+
+def run_experiments(names: Optional[List[str]] = None, json_path: Optional[str] = None):
+    """Regenerate the paper's tables/figures (default: all of them).
+
+    Imports the experiment drivers lazily — they pull in every
+    subsystem, which ``import repro.api`` alone should not pay for.
+    With ``json_path``, the results are also written as a JSON list of
+    ``ExperimentResult.to_dict()`` payloads.
+    """
+    from repro.experiments.runner import run_all
+
+    return run_all(names, json_path=json_path)
+
+
+__all__ = [
+    "AUTO_BATCH_MIN",
+    "BATCH_RTOL",
+    "ENGINES",
+    "DesignPoint",
+    "DesignSpace",
+    "DeviceResult",
+    "DeviceSpec",
+    "Evaluation",
+    "FSConfig",
+    "FailureSentinels",
+    "FastIntermittentSimulator",
+    "FleetReport",
+    "FleetRunResult",
+    "FleetRunner",
+    "FleetSpec",
+    "GridResult",
+    "IntermittentSimulator",
+    "NSGA2",
+    "NSGA2Result",
+    "PerformanceModel",
+    "Scenario",
+    "SimulationReport",
+    "compare_monitors",
+    "evaluate_many",
+    "explore_grid",
+    "grid_explore",
+    "normalized_app_time",
+    "nsga2",
+    "resolve_engine",
+    "run_experiments",
+    "run_fleet",
+    "synthesize_fleet",
+]

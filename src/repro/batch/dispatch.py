@@ -1,0 +1,153 @@
+"""Engine selection and fan-out for :func:`evaluate_many`.
+
+One entry point covers both evaluation families:
+
+* **harvest scenarios** (:class:`~repro.batch.scenario.Scenario`) —
+  dispatched to the vectorized lockstep kernel or the scalar engines;
+* **DSE design points** (pass ``model=PerformanceModel(...)``) —
+  dispatched to the model's vectorized ``evaluate_many``.
+
+Engine-selection rules (documented in ``docs/api.md``):
+
+* ``"scalar"`` — always the per-scenario scalar engines;
+* ``"batch"`` — force the numpy kernel; raises if numpy is missing or
+  a scenario requires reference-engine semantics;
+* ``"auto"`` (default) — the batch kernel when numpy is importable and
+  at least :data:`AUTO_BATCH_MIN` fast-engine scenarios are queued;
+  reference-engine scenarios always run scalar.  Results are returned
+  in input order regardless of how the work was split.
+
+``parallel=k`` additionally shards the scenario list over ``k`` worker
+processes (contiguous chunks, order-preserving); each worker applies
+the same engine rules to its chunk.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs import OBS
+from repro.batch.scenario import Scenario
+
+try:  # numpy is an optional runtime dependency; scalar is the fallback
+    from repro.batch.engine import BatchHarvestEngine
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised in numpy-free installs
+    BatchHarvestEngine = None
+    HAS_NUMPY = False
+
+ENGINES = ("auto", "scalar", "batch")
+
+#: Below this many fast-engine scenarios, "auto" stays scalar: the
+#: kernel's per-iteration numpy overhead only pays off in bulk.
+AUTO_BATCH_MIN = 32
+
+
+def resolve_engine(scenarios: Sequence[Scenario], engine: str = "auto") -> str:
+    """The engine ``evaluate_many`` would actually run for this input."""
+    if engine not in ENGINES:
+        raise ConfigurationError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if engine == "scalar":
+        return "scalar"
+    fast = [s for s in scenarios if s.scalar_engine == "fast"]
+    if engine == "batch":
+        if not HAS_NUMPY:
+            raise ConfigurationError("engine='batch' requires numpy")
+        if len(fast) != len(list(scenarios)):
+            raise ConfigurationError(
+                "engine='batch' cannot evaluate reference-engine scenarios; "
+                "use engine='auto' or 'scalar'"
+            )
+        return "batch"
+    if HAS_NUMPY and len(fast) >= AUTO_BATCH_MIN:
+        return "batch"
+    return "scalar"
+
+
+def _evaluate_chunk(payload):
+    """Top-level worker so ``parallel=`` fan-out can pickle it."""
+    scenarios, engine = payload
+    return evaluate_many(scenarios, engine=engine)
+
+
+def evaluate_many(
+    scenarios: Sequence,
+    *,
+    engine: str = "auto",
+    parallel: Optional[int] = None,
+    model=None,
+) -> List:
+    """Evaluate many scenarios (or design points) through one front door.
+
+    Returns one result per input, in input order: a
+    :class:`~repro.harvest.simulator.SimulationReport` per harvest
+    :class:`Scenario`, or an :class:`~repro.dse.objectives.Evaluation`
+    per :class:`~repro.dse.space.DesignPoint` when ``model`` is given.
+    """
+    items = list(scenarios)
+    if engine not in ENGINES:
+        raise ConfigurationError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if model is not None:
+        if engine == "scalar":
+            return [model.evaluate(point) for point in items]
+        return model.evaluate_many(items)
+
+    for item in items:
+        if not isinstance(item, Scenario):
+            raise ConfigurationError(
+                f"evaluate_many expected Scenario values (got {type(item).__name__}); "
+                "pass model= to evaluate design points"
+            )
+    if not items:
+        return []
+
+    if parallel is not None and parallel > 1 and len(items) > 1:
+        jobs = min(parallel, len(items))
+        size = math.ceil(len(items) / jobs)
+        chunks = [items[i : i + size] for i in range(0, len(items), size)]
+        with OBS.tracer.span(
+            "batch.evaluate_many", scenarios=len(items), engine=engine, parallel=jobs
+        ):
+            with ProcessPoolExecutor(max_workers=jobs) as executor:
+                parts = list(executor.map(_evaluate_chunk, [(c, engine) for c in chunks]))
+        return [report for part in parts for report in part]
+
+    resolved = resolve_engine(items, engine)
+    if resolved == "scalar":
+        return [scenario.run_scalar() for scenario in items]
+
+    # Batch path: fast-engine lanes through the kernel, any
+    # reference-engine scenarios (engine="auto" only) through scalar,
+    # stitched back in input order.
+    batch_idx = [i for i, s in enumerate(items) if s.scalar_engine == "fast"]
+    scalar_idx = [i for i, s in enumerate(items) if s.scalar_engine != "fast"]
+    results: List = [None] * len(items)
+    kernel = BatchHarvestEngine()
+    with OBS.tracer.span(
+        "batch.evaluate_many", scenarios=len(items), engine="batch", lanes=len(batch_idx)
+    ) as span:
+        reports = kernel.run([items[i] for i in batch_idx])
+        span.set(iterations=kernel.last_iterations)
+        for i, report in zip(batch_idx, reports):
+            results[i] = report
+        for i in scalar_idx:
+            results[i] = items[i].run_scalar()
+    metrics = OBS.metrics
+    if metrics.enabled and reports:
+        # The scalar path's instrumented run() keeps these aggregates;
+        # the kernel reports the same totals for its lanes so invariants
+        # like harvest.runs == fleet.devices hold under batching.
+        metrics.incr("harvest.runs", len(reports))
+        metrics.incr("harvest.steps", sum(r.steps for r in reports))
+        metrics.incr("harvest.checkpoints", sum(r.checkpoints for r in reports))
+        metrics.incr("harvest.power_failures", sum(r.power_failures for r in reports))
+        for report in reports:
+            metrics.observe("harvest.duty", report.duty)
+        metrics.incr("batch.runs")
+        metrics.incr("batch.lanes", len(reports))
+        metrics.incr("batch.iterations", kernel.last_iterations)
+    return results

@@ -1,0 +1,122 @@
+"""One evaluation scenario: a platform plus a trace, declaratively.
+
+A :class:`Scenario` bundles everything :func:`repro.batch.evaluate_many`
+needs to replay one device-night — monitor, panel, capacitor, loads,
+checkpoint model, trace, integration step — as a frozen, picklable
+value.  It is the unit the batch kernel vectorizes over and the payload
+the parallel dispatcher ships to worker processes.
+
+The scalar engines remain the semantic reference: ``build_simulator()``
+constructs exactly the simulator the fleet runner has always built
+(including the policy margin clamp), and ``run_scalar()`` replays the
+scenario through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.harvest.checkpoint import CheckpointModel
+from repro.harvest.fast import FastIntermittentSimulator
+from repro.harvest.loads import ADXL362, MCULoad, MSP430FR5969, PeripheralLoad, SYSTEM_LEAKAGE
+from repro.harvest.monitors import MonitorModel
+from repro.harvest.panel import SolarPanel
+from repro.harvest.simulator import DEFAULT_V_ON, IntermittentSimulator, SimulationReport
+from repro.harvest.traces import IrradianceTrace
+
+#: Scalar engines a scenario can name for its reference semantics.
+SCALAR_ENGINES = ("fast", "reference")
+
+#: Keep the deployed checkpoint threshold strictly below turn-on after
+#: policy padding; without head-room the device would checkpoint at
+#: boot.  (Shared with :mod:`repro.fleet.runner`.)
+MIN_RUN_WINDOW_V = 0.05
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A self-contained harvest/intermittent evaluation request.
+
+    ``scalar_engine`` names the semantics the scenario expects:
+    ``"fast"`` (the adaptive-step engine the batch kernel replicates) or
+    ``"reference"`` (the fixed-step engine; always evaluated scalar).
+    ``v_ckpt_margin`` is the runtime policy's extra voltage padding on
+    the monitor-derived checkpoint threshold, applied exactly the way
+    the fleet runner applies it.
+    """
+
+    monitor: MonitorModel
+    trace: Optional[IrradianceTrace] = None
+    panel: SolarPanel = SolarPanel()
+    capacitance: float = 47e-6
+    dt: float = 1e-3
+    v_initial: float = 0.0
+    v_ckpt_margin: float = 0.0
+    scalar_engine: str = "fast"
+    mcu: MCULoad = MSP430FR5969
+    peripherals: Tuple[PeripheralLoad, ...] = (ADXL362,)
+    checkpoint: CheckpointModel = CheckpointModel()
+    v_on: float = DEFAULT_V_ON
+    leakage: float = SYSTEM_LEAKAGE
+
+    def __post_init__(self) -> None:
+        if self.scalar_engine not in SCALAR_ENGINES:
+            raise ConfigurationError(
+                f"unknown scalar engine {self.scalar_engine!r}; choose from {SCALAR_ENGINES}"
+            )
+        if self.dt <= 0:
+            raise ConfigurationError("scenario dt must be positive")
+        if self.v_ckpt_margin < 0:
+            raise ConfigurationError("v_ckpt_margin cannot be negative")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_device(cls, device, monitor: MonitorModel) -> "Scenario":
+        """Build the scenario a fleet :class:`DeviceSpec` describes.
+
+        Duck-typed on the spec's fields so :mod:`repro.batch` stays
+        import-independent of :mod:`repro.fleet` (which imports us).
+        """
+        return cls(
+            monitor=monitor,
+            trace=device.build_trace(),
+            panel=SolarPanel(area_cm2=device.panel_area_cm2),
+            capacitance=device.capacitance,
+            dt=device.dt,
+            v_ckpt_margin=device.policy_margin(),
+            scalar_engine=device.engine,
+        )
+
+    # ------------------------------------------------------------------
+    def build_simulator(self, engine: Optional[str] = None) -> IntermittentSimulator:
+        """The scalar simulator this scenario describes (margin applied)."""
+        name = engine or self.scalar_engine
+        if name not in SCALAR_ENGINES:
+            raise ConfigurationError(
+                f"unknown scalar engine {name!r}; choose from {SCALAR_ENGINES}"
+            )
+        cls = FastIntermittentSimulator if name == "fast" else IntermittentSimulator
+        simulator = cls(
+            self.monitor,
+            panel=self.panel,
+            capacitance=self.capacitance,
+            mcu=self.mcu,
+            peripherals=self.peripherals,
+            checkpoint=self.checkpoint,
+            v_on=self.v_on,
+            leakage=self.leakage,
+        )
+        if self.v_ckpt_margin > 0.0:
+            simulator.v_ckpt = min(
+                simulator.v_ckpt + self.v_ckpt_margin,
+                simulator.v_on - MIN_RUN_WINDOW_V,
+            )
+        return simulator
+
+    def run_scalar(self) -> SimulationReport:
+        """Replay the scenario through its scalar reference engine."""
+        if self.trace is None:
+            raise ConfigurationError("scenario has no trace to replay")
+        return self.build_simulator().run(self.trace, dt=self.dt, v_initial=self.v_initial)

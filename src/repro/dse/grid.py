@@ -47,10 +47,11 @@ def grid_explore(
         points = model.space.grid_points()
     points = list(points)
     with OBS.tracer.span("dse.grid", points=len(points), tech=model.tech.name) as span:
+        from repro.batch import evaluate_many
+
         feasible: List[Evaluation] = []
         reasons: dict = {}
-        for point in points:
-            evaluation = model.evaluate(point)
+        for evaluation in evaluate_many(points, model=model):
             if evaluation.feasible:
                 feasible.append(evaluation)
             else:

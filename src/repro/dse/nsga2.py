@@ -73,7 +73,7 @@ class NSGA2:
             seed=self.seed,
         ):
             population = [self._random_genome(rng) for _ in range(self.population_size)]
-            evals = [self._evaluate(g) for g in population]
+            evals = self._evaluate_generation(population)
             evaluated = len(population)
 
             for generation in range(self.generations):
@@ -86,7 +86,7 @@ class NSGA2:
                     offspring.append(self._mutate(rng, c1))
                     if len(offspring) < self.population_size:
                         offspring.append(self._mutate(rng, c2))
-                off_evals = [self._evaluate(g) for g in offspring]
+                off_evals = self._evaluate_generation(offspring)
                 evaluated += len(offspring)
                 population, evals = self._environmental_selection(
                     population + offspring, evals + off_evals
@@ -133,6 +133,15 @@ class NSGA2:
     def _evaluate(self, genome: Genome) -> Evaluation:
         point = self.model.space.decode(genome)
         return self.model.evaluate(point)
+
+    def _evaluate_generation(self, genomes: List[Genome]) -> List[Evaluation]:
+        """One batched model call per generation (identical results to
+        mapping :meth:`_evaluate`, with the ring-physics cache warmed
+        once per distinct length instead of on first encounter)."""
+        from repro.batch import evaluate_many
+
+        points = [self.model.space.decode(g) for g in genomes]
+        return evaluate_many(points, model=self.model)
 
     def _random_genome(self, rng: random.Random) -> Genome:
         return tuple(rng.random() for _ in range(GENOME_SIZE))

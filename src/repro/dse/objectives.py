@@ -86,6 +86,30 @@ class Evaluation:
             float(self.transistor_count),
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready payload; inverse of :meth:`from_dict`.
+
+        Infinities survive the round-trip: the stdlib ``json`` module
+        serializes them as ``Infinity`` (its default ``allow_nan``).
+        """
+        return {
+            "point": self.point.to_dict(),
+            "feasible": self.feasible,
+            "mean_current": self.mean_current,
+            "f_sample": self.f_sample,
+            "granularity": self.granularity,
+            "nvm_bytes": self.nvm_bytes,
+            "transistor_count": self.transistor_count,
+            "reject_reason": self.reject_reason,
+            "violation": self.violation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Evaluation":
+        payload = dict(data)
+        payload["point"] = DesignPoint.from_dict(payload["point"])
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class _RingPhysics:
@@ -177,6 +201,27 @@ class PerformanceModel:
         return physics
 
     # ------------------------------------------------------------------
+    def evaluate_many(self, points) -> "list[Evaluation]":
+        """Evaluate a whole generation/grid chunk in one call.
+
+        The batch entry point :func:`repro.batch.evaluate_many` lands
+        here when given ``model=``.  The heavy physics is per
+        (technology, ring length), so batching means warming that cache
+        for every distinct length up front (deterministic ascending
+        order) and then running the cheap per-point arithmetic; results
+        are bit-identical to per-point :meth:`evaluate` calls, rejection
+        cascade included.
+        """
+        from repro.obs import OBS
+
+        points = list(points)
+        with OBS.tracer.span(
+            "dse.evaluate_many", points=len(points), tech=self.tech.name
+        ):
+            for ro_length in sorted({p.ro_length for p in points}):
+                self._ring_physics(ro_length)
+            return [self.evaluate(p) for p in points]
+
     def evaluate(self, point: DesignPoint) -> Evaluation:
         """Performance parameters for ``point``, or a rejection.
 

@@ -57,6 +57,21 @@ class DesignPoint:
             self.entry_bits,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready payload; inverse of :meth:`from_dict`."""
+        return {
+            "ro_length": self.ro_length,
+            "f_sample": self.f_sample,
+            "counter_bits": self.counter_bits,
+            "t_enable": self.t_enable,
+            "nvm_entries": self.nvm_entries,
+            "entry_bits": self.entry_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DesignPoint":
+        return cls(**data)
+
 
 class DesignSpace:
     """Genome encode/decode for one technology and supply range."""

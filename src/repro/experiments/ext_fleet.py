@@ -44,10 +44,11 @@ def run(
     jobs: int = 1,
     include_planner: bool = True,
     planner: Optional[DeploymentPlanner] = None,
+    eval_engine: str = "auto",
 ) -> ExperimentResult:
     fleet = synthesize_fleet(n_devices, seed=seed, duration=duration)
     cache = CalibrationCache()
-    outcome = FleetRunner(fleet, jobs=jobs, cache=cache).run()
+    outcome = FleetRunner(fleet, jobs=jobs, cache=cache, eval_engine=eval_engine).run()
     report = outcome.report
 
     result = ExperimentResult(

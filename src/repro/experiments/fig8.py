@@ -20,7 +20,7 @@ from repro.harvest import (
     fs_low_power_monitor,
     nyc_pedestrian_night,
 )
-from repro.harvest.simulator import compare_monitors, normalized_app_time
+from repro.api import compare_monitors, normalized_app_time
 from repro.harvest.traces import IrradianceTrace
 
 #: Paper's normalized runtimes (Figure 8, approximate).
@@ -38,7 +38,16 @@ def run(
     duration: float = 300.0,
     seed: int = 42,
     dt: float = 1e-3,
+    engine: str = "auto",
+    scalar_engine: str = "reference",
 ) -> ExperimentResult:
+    """Regenerate Figure 8.
+
+    ``scalar_engine``/``engine`` forward to
+    :func:`repro.api.compare_monitors`; the defaults reproduce the
+    paper runs with the fixed-step reference engine, while
+    ``scalar_engine="fast"`` opts the replay into the batch kernel.
+    """
     trace = trace or nyc_pedestrian_night(duration=duration, seed=seed)
     monitors = [
         IdealMonitor(),
@@ -47,7 +56,9 @@ def run(
         ComparatorMonitor(),
         ADCMonitor(),
     ]
-    reports = compare_monitors(monitors, trace, dt=dt)
+    reports = compare_monitors(
+        monitors, trace, dt=dt, engine=engine, scalar_engine=scalar_engine
+    )
     normalized = normalized_app_time(reports)
 
     result = ExperimentResult(

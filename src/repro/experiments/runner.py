@@ -66,11 +66,15 @@ def available_experiments() -> List[str]:
     return list(EXPERIMENTS)
 
 
-def run_all(names: List[str] = None) -> List[ExperimentResult]:
+def run_all(names: List[str] = None, json_path: str = None) -> List[ExperimentResult]:
     """Run the selected (default: all) experiments, printing as we go.
 
     Unknown names print the available ids to stderr and exit non-zero
     (no traceback) — this is the CLI's error path.
+
+    ``json_path`` additionally writes the results as a JSON list of
+    :meth:`~repro.experiments.tables.ExperimentResult.to_dict` payloads
+    (the machine-readable sibling of the printed tables).
 
     Timings use ``time.perf_counter`` (monotonic): wall-clock
     ``time.time`` can step backwards under NTP adjustment and used to
@@ -104,6 +108,12 @@ def run_all(names: List[str] = None) -> List[ExperimentResult]:
         timings.append((name, elapsed))
     if len(timings) > 1:
         print(render_timing_summary(timings))
+    if json_path:
+        import json
+
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump([r.to_dict() for r in results], fh, indent=2)
+        print(f"(wrote {len(results)} result payload(s) to {json_path})")
     return results
 
 

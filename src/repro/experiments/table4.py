@@ -8,12 +8,12 @@ regenerated table next to the paper's values.
 
 from __future__ import annotations
 
+from repro.batch import Scenario
 from repro.experiments.tables import ExperimentResult
 from repro.harvest import (
     ADCMonitor,
     ComparatorMonitor,
     IdealMonitor,
-    IntermittentSimulator,
     fs_high_performance_monitor,
     fs_low_power_monitor,
 )
@@ -45,7 +45,9 @@ def run() -> ExperimentResult:
         ],
     )
     for monitor in monitors:
-        sim = IntermittentSimulator(monitor)
+        # Derive the operating point from the same Scenario the batch
+        # evaluator uses, so the table reflects the deployed platform.
+        sim = Scenario(monitor=monitor, scalar_engine="reference").build_simulator()
         paper = PAPER.get(monitor.name, (None, None, None, None))
         result.rows.append(
             {
@@ -60,7 +62,9 @@ def run() -> ExperimentResult:
             }
         )
 
-    lp_sim = IntermittentSimulator(fs_low_power_monitor())
+    lp_sim = Scenario(
+        monitor=fs_low_power_monitor(), scalar_engine="reference"
+    ).build_simulator()
     margin = lp_sim.checkpoint.sampling_margin(
         lp_sim.system_current, lp_sim.capacitance, lp_sim.monitor
     )

@@ -62,3 +62,23 @@ class ExperimentResult:
         if not self.rows:
             raise ConfigurationError("experiment produced no rows")
         return [row[name] for row in self.rows if name in row]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload; inverse of :meth:`from_dict`."""
+        return {
+            "experiment_id": self.experiment_id,
+            "description": self.description,
+            "rows": [dict(row) for row in self.rows],
+            "columns": list(self.columns) if self.columns is not None else None,
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
+        return cls(
+            experiment_id=data["experiment_id"],
+            description=data["description"],
+            rows=[dict(row) for row in data.get("rows", [])],
+            columns=list(data["columns"]) if data.get("columns") is not None else None,
+            notes=list(data.get("notes", [])),
+        )

@@ -19,7 +19,13 @@ Entry points: ``python -m repro fleet`` on the command line, the
 from repro.fleet.cache import CalibrationCache, CalibrationRecord, build_record
 from repro.fleet.planner import DeploymentPlanner, SiteAssignment, SiteRequirement
 from repro.fleet.report import DeviceResult, FleetReport, percentile
-from repro.fleet.runner import FleetRunner, FleetRunResult, run_fleet, simulate_device
+from repro.fleet.runner import (
+    FleetRunner,
+    FleetRunResult,
+    run_fleet,
+    simulate_device,
+    simulate_devices,
+)
 from repro.fleet.spec import (
     DeviceSpec,
     ENGINES,
@@ -44,6 +50,7 @@ __all__ = [
     "FleetRunResult",
     "run_fleet",
     "simulate_device",
+    "simulate_devices",
     "DeviceSpec",
     "ENGINES",
     "FleetSpec",

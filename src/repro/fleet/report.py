@@ -100,6 +100,35 @@ class DeviceResult:
     def duty_pct(self) -> float:
         return 100.0 * self.duty
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready payload; inverse of :meth:`from_dict`."""
+        return {
+            "device_id": self.device_id,
+            "monitor_name": self.monitor_name,
+            "policy": self.policy,
+            "engine": self.engine,
+            "duration": self.duration,
+            "app_time": self.app_time,
+            "checkpoint_time": self.checkpoint_time,
+            "restore_time": self.restore_time,
+            "off_time": self.off_time,
+            "checkpoints": self.checkpoints,
+            "power_failures": self.power_failures,
+            "v_checkpoint": self.v_checkpoint,
+            "energy_by_sink": dict(self.energy_by_sink),
+            "energy_harvested": self.energy_harvested,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DeviceResult":
+        payload = dict(data)
+        # Construction sorts the sink tuple, so a dict round-trip is
+        # order-exact.
+        payload["energy_by_sink"] = tuple(
+            sorted(dict(payload.get("energy_by_sink", {})).items())
+        )
+        return cls(**payload)
+
 
 @dataclass
 class FleetReport:
@@ -144,6 +173,20 @@ class FleetReport:
         for result in self.results:
             groups.setdefault(result.monitor_name, []).append(result)
         return dict(sorted(groups.items()))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready payload; inverse of :meth:`from_dict`."""
+        return {
+            "fleet_name": self.fleet_name,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FleetReport":
+        return cls(
+            fleet_name=data["fleet_name"],
+            results=[DeviceResult.from_dict(r) for r in data.get("results", [])],
+        )
 
     # ------------------------------------------------------------------
     def render(self) -> str:

@@ -19,10 +19,13 @@ dataclasses of primitives, which is what makes the fan-out picklable.
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.batch import ENGINES as EVAL_ENGINES
+from repro.batch import Scenario, evaluate_many
 from repro.errors import ConfigurationError
 from repro.fleet.cache import CalibrationCache, CalibrationRecord
 from repro.fleet.report import DeviceResult, FleetReport
@@ -45,6 +48,21 @@ _MIN_RUN_WINDOW_V = 0.05
 
 
 def simulate_device(work: Tuple[DeviceSpec, MonitorModel]) -> DeviceResult:
+    """Deprecated one-device entry point (kept for one release).
+
+    Use :func:`simulate_devices` (which batches through
+    :func:`repro.api.evaluate_many`) or :class:`FleetRunner` directly.
+    """
+    warnings.warn(
+        "repro.fleet.runner.simulate_device is deprecated; use "
+        "simulate_devices or FleetRunner (batch-capable)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _simulate_device(work)
+
+
+def _simulate_device(work: Tuple[DeviceSpec, MonitorModel]) -> DeviceResult:
     """Replay one device's trace.  Top-level so executors can pickle it."""
     device, monitor = work
     engine_cls = _ENGINES[device.engine]
@@ -65,6 +83,37 @@ def simulate_device(work: Tuple[DeviceSpec, MonitorModel]) -> DeviceResult:
         engine=device.engine,
         report=report,
     )
+
+
+def simulate_devices(
+    work: List[Tuple[DeviceSpec, MonitorModel]], engine: str = "auto"
+) -> List[DeviceResult]:
+    """Replay many devices at once through the unified evaluator.
+
+    Builds one :class:`~repro.batch.Scenario` per device and hands the
+    lot to :func:`repro.batch.evaluate_many`; with ``engine="auto"``
+    large homogeneous chunks vectorize through the numpy kernel while
+    small or reference-engine chunks fall back to the scalar engines —
+    either way the results are bit-identical to :func:`simulate_device`
+    (the kernel's equivalence contract).
+    """
+    scenarios = [Scenario.from_device(device, monitor) for device, monitor in work]
+    reports = evaluate_many(scenarios, engine=engine)
+    return [
+        DeviceResult.from_report(
+            device_id=device.device_id,
+            policy=device.policy,
+            engine=device.engine,
+            report=report,
+        )
+        for (device, _monitor), report in zip(work, reports)
+    ]
+
+
+def _simulate_chunk(payload) -> List[DeviceResult]:
+    """Picklable chunk worker for the parallel batch path."""
+    work, engine = payload
+    return simulate_devices(work, engine=engine)
 
 
 def _simulate_device_obs(
@@ -91,7 +140,7 @@ def _simulate_device_obs(
             engine=device.engine,
             policy=device.policy,
         ):
-            result = simulate_device((device, monitor))
+            result = _simulate_device((device, monitor))
         task_metrics.incr("fleet.devices")
         task_metrics.observe("fleet.device_seconds", time.perf_counter() - start)
         return result, task_metrics.snapshot()
@@ -123,12 +172,18 @@ class FleetRunner:
         fleet: FleetSpec,
         jobs: int = 1,
         cache: Optional[CalibrationCache] = None,
+        eval_engine: str = "auto",
     ):
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
+        if eval_engine not in EVAL_ENGINES:
+            raise ConfigurationError(
+                f"unknown eval engine {eval_engine!r}; choose from {EVAL_ENGINES}"
+            )
         self.fleet = fleet
         self.jobs = jobs
         self.cache = cache if cache is not None else CalibrationCache()
+        self.eval_engine = eval_engine
 
     # ------------------------------------------------------------------
     def resolve_calibrations(self) -> Dict[Tuple, CalibrationRecord]:
@@ -152,9 +207,14 @@ class FleetRunner:
     def run(self) -> FleetRunResult:
         start = time.perf_counter()
         if not OBS.enabled:
-            # Observability off: the original, zero-overhead path.
+            # Observability off: chunked batch evaluation — devices
+            # sharing an engine vectorize through the lockstep kernel.
+            # (Observability runs keep the per-device scalar workers
+            # below, which emit one fleet.device span per device; batch
+            # and scalar results are bit-identical, so the two paths
+            # produce the same report.)
             work = self._work_items()
-            results = self._execute(simulate_device, work)
+            results = self._execute_batched(work)
             return self._finish(results, start)
         hits0, misses0 = self.cache.stats.hits, self.cache.stats.misses
         with OBS.tracer.span(
@@ -189,6 +249,21 @@ class FleetRunner:
         with ProcessPoolExecutor(max_workers=self.jobs) as executor:
             return list(executor.map(worker, work, chunksize=chunksize))
 
+    def _execute_batched(self, work: List) -> List[DeviceResult]:
+        if self.jobs <= 1 or len(work) <= 1:
+            return simulate_devices(work, engine=self.eval_engine)
+        # One contiguous chunk per worker (not the scalar path's small
+        # chunksize): the kernel's throughput grows with lane count, so
+        # each worker should see the biggest batch load-balancing allows.
+        jobs = min(self.jobs, len(work))
+        size = -(-len(work) // jobs)
+        chunks = [work[i : i + size] for i in range(0, len(work), size)]
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            parts = list(
+                executor.map(_simulate_chunk, [(c, self.eval_engine) for c in chunks])
+            )
+        return [result for part in parts for result in part]
+
     def _finish(self, results: List[DeviceResult], start: float) -> FleetRunResult:
         report = FleetReport(fleet_name=self.fleet.name, results=results)
         elapsed = time.perf_counter() - start
@@ -205,6 +280,7 @@ def run_fleet(
     fleet: FleetSpec,
     jobs: int = 1,
     cache: Optional[CalibrationCache] = None,
+    eval_engine: str = "auto",
 ) -> FleetRunResult:
     """Convenience wrapper: build a runner and run it."""
-    return FleetRunner(fleet, jobs=jobs, cache=cache).run()
+    return FleetRunner(fleet, jobs=jobs, cache=cache, eval_engine=eval_engine).run()

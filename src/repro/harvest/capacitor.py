@@ -33,8 +33,14 @@ class BufferCapacitor:
     # ------------------------------------------------------------------
     @property
     def energy(self) -> float:
-        """Stored energy (J)."""
-        return 0.5 * self.capacitance * self.voltage**2
+        """Stored energy (J).
+
+        Squares by multiplication, not ``**2``: libm's ``pow(x, 2.0)``
+        is off by one ulp from ``x*x`` for ~0.1% of inputs, and the
+        batch engine (numpy squares by multiplying) must agree with the
+        scalar engines bit-for-bit.
+        """
+        return 0.5 * self.capacitance * (self.voltage * self.voltage)
 
     def energy_between(self, v_high: float, v_low: float) -> float:
         """Energy released moving from ``v_high`` down to ``v_low`` (J)."""
@@ -52,7 +58,7 @@ class BufferCapacitor:
         if dt <= 0:
             raise SimulationError("dt must be positive")
         energy = self.energy + (power_in - power_out) * dt
-        e_max = 0.5 * self.capacitance * self.v_max**2
+        e_max = 0.5 * self.capacitance * (self.v_max * self.v_max)
         energy = min(max(energy, 0.0), e_max)
         self.voltage = math.sqrt(2.0 * energy / self.capacitance)
         return self.voltage

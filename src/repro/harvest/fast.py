@@ -57,6 +57,10 @@ class FastIntermittentSimulator(IntermittentSimulator):
         t = 0.0
         end = trace.duration
         steps = 0
+        # One power value per trace segment, shared with the batch engine
+        # so the two agree bit-for-bit on p_in.
+        power = self.panel.power_curve(trace.values)
+        last_seg = len(power) - 1
 
         while t < end:
             # ---- OFF: closed-form charge to v_on, segment by segment --
@@ -67,11 +71,13 @@ class FastIntermittentSimulator(IntermittentSimulator):
                     seg_end = min(end, seg_end + trace.dt)
                 if seg_end - t <= 1e-12:
                     break  # at the very end of the trace
-                p_in = self.panel.electrical_power(trace.at(t))
+                p_in = power[min(int(t / trace.dt), last_seg)] if last_seg >= 0 else 0.0
                 v = cap.voltage
                 p_leak = self.leakage * max(v, 0.3 * self.v_on)  # segment-mean-ish
                 p_net = p_in - p_leak
-                e_target = 0.5 * self.capacitance * self.v_on**2
+                # Multiplicative square: keeps the closed forms
+                # bit-identical to the numpy batch kernel.
+                e_target = 0.5 * self.capacitance * (self.v_on * self.v_on)
                 if p_net <= 0:
                     # Not charging this segment: leak down (bounded).
                     span = seg_end - t
@@ -110,7 +116,7 @@ class FastIntermittentSimulator(IntermittentSimulator):
             OBS.tracer.event("harvest.power_on", t=t, v=cap.voltage)
             while t < end and state != "off":
                 steps += 1
-                p_in = self.panel.electrical_power(trace.at(t))
+                p_in = power[min(int(t / trace.dt), last_seg)] if last_seg >= 0 else 0.0
                 v = cap.voltage
                 if state == "restore":
                     draw = {
@@ -137,7 +143,7 @@ class FastIntermittentSimulator(IntermittentSimulator):
                     # jump lands on the threshold without overshoot.
                     p_net_out = i_total * v - p_in
                     if p_net_out > 0:
-                        e_ckpt = 0.5 * self.capacitance * self.v_ckpt**2
+                        e_ckpt = 0.5 * self.capacitance * (self.v_ckpt * self.v_ckpt)
                         t_cross = (cap.energy - e_ckpt) / p_net_out
                         step = min(max(t_cross, dt), end - t, max(seg_end - t, dt))
                     else:

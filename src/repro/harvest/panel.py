@@ -59,3 +59,29 @@ class SolarPanel:
             return raw
         rolloff = 1.0 - math.exp(-irradiance / self.low_light_knee)
         return raw * rolloff
+
+    def power_curve(self, values) -> list:
+        """Electrical power per sample of a piecewise-constant trace.
+
+        Every simulation engine — reference, fast, and batch — reads its
+        per-segment input power from this one function, so engines agree
+        bit-for-bit on ``p_in`` (the only transcendental in the harvest
+        path is the low-light-knee exponential, evaluated here exactly
+        once per segment instead of once per step).  Returns a plain list
+        of floats; vectorized through numpy when available.
+        """
+        values = list(values)
+        if not values:
+            return []
+        try:
+            import numpy as np
+        except ImportError:
+            return [self.electrical_power(v) for v in values]
+        irr = np.asarray(values, dtype=np.float64)
+        if (irr < 0).any():
+            raise ConfigurationError("irradiance cannot be negative")
+        raw = irr * self.area_m2 * self.efficiency * self.harvester_efficiency
+        if self.low_light_knee <= 0:
+            return raw.tolist()
+        rolloff = 1.0 - np.exp(-irr / self.low_light_knee)
+        return (raw * rolloff).tolist()

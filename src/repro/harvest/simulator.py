@@ -71,6 +71,31 @@ class SimulationReport:
             return 0.0
         return self.energy_by_sink.get("monitor", 0.0) / total
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready payload; inverse of :meth:`from_dict`."""
+        return {
+            "monitor_name": self.monitor_name,
+            "duration": self.duration,
+            "app_time": self.app_time,
+            "checkpoint_time": self.checkpoint_time,
+            "restore_time": self.restore_time,
+            "off_time": self.off_time,
+            "checkpoints": self.checkpoints,
+            "power_failures": self.power_failures,
+            "steps": self.steps,
+            "v_checkpoint": self.v_checkpoint,
+            "system_current": self.system_current,
+            "energy_by_sink": dict(self.energy_by_sink),
+            "energy_harvested": self.energy_harvested,
+            "energy_in_capacitor": self.energy_in_capacitor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationReport":
+        payload = dict(data)
+        payload["energy_by_sink"] = dict(payload.get("energy_by_sink", {}))
+        return cls(**payload)
+
     def summary(self) -> str:
         lines = [
             f"{self.monitor_name}: app {self.app_time:.2f}s / {self.duration:.0f}s "
@@ -177,10 +202,13 @@ class IntermittentSimulator:
         phase_left = 0.0  # remaining seconds in restore/checkpoint
         harvested = 0.0
         steps = int(round(trace.duration / dt))
+        # Per-segment input power, shared with the fast and batch engines.
+        power = self.panel.power_curve(trace.values)
+        last_seg = len(power) - 1
 
         for step in range(steps):
             t = step * dt
-            p_in = self.panel.electrical_power(trace.at(t))
+            p_in = power[min(int(t / trace.dt), last_seg)] if last_seg >= 0 else 0.0
             # Harvest accounting: energy actually accepted by the
             # capacitor (clamped at v_max, the charger stops charging).
             e_before = cap.energy
@@ -302,17 +330,35 @@ def compare_monitors(
     dt: float = 5e-4,
     **simulator_kwargs,
 ) -> List[SimulationReport]:
-    """Run the same platform with each monitor over the same trace."""
-    reports = []
-    for monitor in monitors:
-        sim = IntermittentSimulator(monitor, **simulator_kwargs)
-        reports.append(sim.run(trace, dt=dt))
-    return reports
+    """Deprecated alias for :func:`repro.api.compare_monitors`.
+
+    Kept (with identical reference-engine semantics) for one release;
+    the canonical entry point also offers engine selection and batch
+    dispatch.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.harvest.simulator.compare_monitors is deprecated; use "
+        "repro.api.compare_monitors (same defaults, plus engine selection)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import compare_monitors as canonical
+
+    return canonical(monitors, trace, dt=dt, **simulator_kwargs)
 
 
 def normalized_app_time(reports: Sequence[SimulationReport], baseline_name: str = "Ideal") -> Dict[str, float]:
-    """Figure 8's metric: app time relative to the ideal monitor."""
-    base = next((r for r in reports if r.monitor_name == baseline_name), None)
-    if base is None or base.app_time <= 0:
-        raise SimulationError(f"no usable baseline report named {baseline_name!r}")
-    return {r.monitor_name: r.app_time / base.app_time for r in reports}
+    """Deprecated alias for :func:`repro.api.normalized_app_time`."""
+    import warnings
+
+    warnings.warn(
+        "repro.harvest.simulator.normalized_app_time is deprecated; use "
+        "repro.api.normalized_app_time",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import normalized_app_time as canonical
+
+    return canonical(reports, baseline_name=baseline_name)

@@ -1,0 +1,128 @@
+"""The stable 1.1 facade: ``repro.api`` plus the JSON round-trips.
+
+Covers the api_redesign contract: the blessed surface imports from one
+place, the lazy top-level re-exports resolve, the pre-1.1 entry points
+still function but warn, and every result type round-trips through
+plain JSON.
+"""
+
+import json
+import warnings
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.harvest.monitors import IdealMonitor, fs_low_power_monitor
+from repro.harvest.traces import nyc_pedestrian_night
+
+
+class TestFacadeSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.1.0"
+
+    def test_all_exports_resolve(self):
+        missing = [name for name in api.__all__ if not hasattr(api, name)]
+        assert missing == []
+
+    def test_top_level_lazy_reexports(self):
+        from repro import evaluate_many
+
+        assert evaluate_many is api.evaluate_many
+        assert repro.api is api
+        assert repro.BATCH_RTOL == api.BATCH_RTOL
+
+    def test_top_level_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_an_export
+
+    def test_evaluate_many_importable_from_api(self):
+        from repro.api import evaluate_many  # noqa: F401 - the headline import
+
+    def test_compare_monitors_default_matches_legacy_reference_engine(self):
+        trace = nyc_pedestrian_night(duration=60.0, seed=7)
+        monitors = [IdealMonitor(), fs_low_power_monitor()]
+        reports = api.compare_monitors(monitors, trace, dt=1e-3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.harvest.simulator import compare_monitors as legacy
+
+            legacy_reports = legacy(monitors, trace, dt=1e-3)
+        assert reports == legacy_reports
+
+
+class TestDeprecationShims:
+    def test_harvest_compare_monitors_warns_and_functions(self):
+        trace = nyc_pedestrian_night(duration=60.0, seed=7)
+        from repro.harvest.simulator import compare_monitors, normalized_app_time
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            reports = compare_monitors([IdealMonitor()], trace, dt=1e-3)
+            normalized = normalized_app_time(reports)
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        assert normalized == {"Ideal": 1.0}
+
+    def test_fleet_simulate_device_warns_and_functions(self):
+        from repro.fleet import CalibrationCache, FleetRunner, synthesize_fleet
+        from repro.fleet.runner import simulate_device
+
+        fleet = synthesize_fleet(2, seed=3, duration=30.0)
+        runner = FleetRunner(fleet, jobs=1, cache=CalibrationCache())
+        work = runner._work_items()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = simulate_device(work[0])
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        assert result.device_id == work[0][0].device_id
+
+
+class TestJsonRoundTrips:
+    def roundtrip(self, obj):
+        return type(obj).from_dict(json.loads(json.dumps(obj.to_dict())))
+
+    def test_simulation_report(self):
+        trace = nyc_pedestrian_night(duration=60.0, seed=7)
+        [report] = api.compare_monitors([fs_low_power_monitor()], trace)
+        assert self.roundtrip(report) == report
+
+    def test_simulation_report_handles_infinite_sample_rate(self):
+        trace = nyc_pedestrian_night(duration=60.0, seed=7)
+        [report] = api.compare_monitors([IdealMonitor()], trace)
+        restored = self.roundtrip(report)
+        assert restored == report
+
+    def test_device_and_fleet_reports(self):
+        from repro.fleet import CalibrationCache, FleetRunner, synthesize_fleet
+
+        fleet = synthesize_fleet(3, seed=3, duration=30.0)
+        report = FleetRunner(fleet, jobs=1, cache=CalibrationCache()).run().report
+        assert self.roundtrip(report.results[0]) == report.results[0]
+        assert self.roundtrip(report) == report
+
+    def test_design_point_and_evaluation(self):
+        from repro.dse.objectives import PerformanceModel
+        from repro.dse.space import DesignSpace
+        from repro.tech import TECH_90NM
+
+        model = PerformanceModel(DesignSpace(TECH_90NM))
+        point = model.space.decode((0.4,) * 6)
+        evaluation = model.evaluate(point)
+        assert self.roundtrip(point) == point
+        assert self.roundtrip(evaluation) == evaluation
+
+    def test_experiment_result(self):
+        from repro.experiments.tables import ExperimentResult
+
+        result = ExperimentResult(
+            experiment_id="Test",
+            description="round-trip fixture",
+            columns=["a", "b"],
+        )
+        result.rows.append({"a": 1, "b": float("inf")})
+        result.notes.append("note")
+        restored = self.roundtrip(result)
+        assert restored.experiment_id == result.experiment_id
+        assert restored.rows == result.rows
+        assert restored.columns == result.columns
+        assert restored.notes == result.notes

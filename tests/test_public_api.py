@@ -20,6 +20,9 @@ PACKAGES = [
     "repro.runtimes",
     "repro.soc",
     "repro.experiments",
+    "repro.obs",
+    "repro.batch",
+    "repro.api",
 ]
 
 
