@@ -36,7 +36,7 @@ from repro.tech import TECH_130NM, TECH_90NM, TECH_65NM, ALL_NODES, get_technolo
 from repro.analog import RingOscillator, VoltageDivider, LevelShifter, SARADC, AnalogComparator
 from repro.errors import ReproError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Names forwarded lazily from :mod:`repro.api` (PEP 562): the facade
 #: pulls in the harvest/dse/fleet/batch stack, which a bare
@@ -54,6 +54,9 @@ _API_EXPORTS = (
     "nsga2",
     "run_experiments",
     "BATCH_RTOL",
+    "characterize_many",
+    "RingSweep",
+    "DividerSweep",
 )
 
 __all__ = [

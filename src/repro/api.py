@@ -9,6 +9,9 @@ semantics guaranteed across 1.x releases (see ``docs/api.md``):
 * **bulk evaluation** — :class:`Scenario` + :func:`evaluate_many`, the
   engine-selecting front door over the scalar engines and the
   numpy-vectorized lockstep kernel (:mod:`repro.batch`);
+* **circuit characterization** — :class:`RingSweep` /
+  :class:`DividerSweep` + :func:`characterize_many`, the cached SPICE
+  sweep front door (:mod:`repro.spice.charlib`);
 * **fleets** — :func:`run_fleet` / :class:`FleetRunner`;
 * **design-space exploration** — :func:`explore_grid` and
   :func:`nsga2` over a :class:`PerformanceModel`;
@@ -44,6 +47,14 @@ from repro.harvest.fast import FastIntermittentSimulator
 from repro.harvest.monitors import MonitorModel
 from repro.harvest.simulator import IntermittentSimulator, SimulationReport
 from repro.harvest.traces import IrradianceTrace
+from repro.spice.charlib import (
+    CHARLIB_RTOL,
+    CharacterizationCache,
+    DividerSweep,
+    RingSweep,
+    SweepResult,
+    characterize_many,
+)
 
 #: Grid exploration under its blessed name (``grid_explore`` remains an
 #: alias for pre-1.1 imports).
@@ -124,7 +135,13 @@ def run_experiments(names: Optional[List[str]] = None, json_path: Optional[str] 
 __all__ = [
     "AUTO_BATCH_MIN",
     "BATCH_RTOL",
+    "CHARLIB_RTOL",
+    "CharacterizationCache",
+    "DividerSweep",
     "ENGINES",
+    "RingSweep",
+    "SweepResult",
+    "characterize_many",
     "DesignPoint",
     "DesignSpace",
     "DeviceResult",

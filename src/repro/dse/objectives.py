@@ -313,6 +313,68 @@ class PerformanceModel:
             )
         return "", 0.0
 
+    # ------------------------------------------------------------------
+    def spice_crosscheck(
+        self,
+        points,
+        *,
+        parallel: Optional[int] = None,
+        cache=None,
+    ) -> "list[dict]":
+        """Device-level validation of the analytic model, per point.
+
+        Routes the SPICE work through
+        :func:`repro.spice.charlib.characterize_many`: one cached
+        :class:`~repro.spice.charlib.RingSweep` per distinct ring
+        length, at the divided supply voltages the monitor actually sees
+        (range endpoints and midpoint).  Returns one dict per point with
+        the analytic and device-level frequencies and their worst
+        relative disagreement — a *diagnostic*, not a gate: the analytic
+        model is a lumped approximation, and enrollment absorbs absolute
+        offsets in the real system.
+        """
+        from repro.spice.charlib import RingSweep, characterize_many
+
+        points = list(points)
+        divider = VoltageDivider(self.tech)
+        v_lo, v_hi = self.space.v_supply_range
+        volts = tuple(
+            divider.nominal_output(v) for v in (v_lo, 0.5 * (v_lo + v_hi), v_hi)
+        )
+        lengths = sorted({p.ro_length for p in points})
+        sweeps = [
+            RingSweep(
+                tech=self.tech, n_stages=n, voltages=volts, temp_k=self.temp_k
+            )
+            for n in lengths
+        ]
+        results = dict(
+            zip(lengths, characterize_many(sweeps, parallel=parallel, cache=cache))
+        )
+        out = []
+        for point in points:
+            result = results[point.ro_length]
+            ro = RingOscillator(self.tech, point.ro_length)
+            f_model = tuple(ro.frequency(v, self.temp_k) for v in volts)
+            worst = 0.0
+            oscillates = True
+            for fm, fs in zip(f_model, result.frequency):
+                if fm <= 0.0 or fs <= 0.0:
+                    oscillates = False
+                    continue
+                worst = max(worst, abs(fs - fm) / fm)
+            out.append(
+                {
+                    "ro_length": point.ro_length,
+                    "voltages": list(volts),
+                    "f_model": list(f_model),
+                    "f_spice": list(result.frequency),
+                    "max_rel_error": worst,
+                    "oscillates": oscillates,
+                }
+            )
+        return out
+
     def _transistor_count(self, point: DesignPoint) -> int:
         ro = RingOscillator(self.tech, point.ro_length)
         divider = VoltageDivider(self.tech)

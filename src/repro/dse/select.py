@@ -73,10 +73,16 @@ class Requirements:
 
 @dataclass(frozen=True)
 class Selection:
-    """A chosen design point, ready to instantiate."""
+    """A chosen design point, ready to instantiate.
+
+    ``spice_check`` carries the device-level validation payload from
+    :meth:`PerformanceModel.spice_crosscheck` when the selection ran
+    with ``spice_validate=True`` (None otherwise).
+    """
 
     config: FSConfig
     evaluation: Evaluation
+    spice_check: Optional[dict] = None
 
     def summary(self) -> str:
         e = self.evaluation
@@ -93,12 +99,16 @@ def select_config(
     refine: bool = False,
     model: Optional[PerformanceModel] = None,
     seed: int = 5,
+    spice_validate: bool = False,
 ) -> Selection:
     """Pick the best qualifying configuration for ``tech``.
 
     Raises :class:`ConfigurationError` when nothing in the space meets
     the requirements — with the closest miss named, so the caller knows
-    which requirement to relax.
+    which requirement to relax.  ``spice_validate=True`` additionally
+    cross-checks the chosen point's ring at device level through the
+    shared characterization cache and attaches the result as
+    ``Selection.spice_check``.
     """
     space = DesignSpace(tech)
     model = model or PerformanceModel(space)
@@ -131,4 +141,9 @@ def select_config(
             f"no {tech.name} configuration meets {requirements}{hint}"
         )
     best = min(qualifying, key=requirements.score)
-    return Selection(config=model.to_config(best.point), evaluation=best)
+    spice_check = None
+    if spice_validate:
+        [spice_check] = model.spice_crosscheck([best.point])
+    return Selection(
+        config=model.to_config(best.point), evaluation=best, spice_check=spice_check
+    )

@@ -27,12 +27,12 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.analog.divider import VoltageDivider, build_divider_circuit, divider_tap_node
+from repro.analog.divider import VoltageDivider
 from repro.core.config import FSConfig
 from repro.core.monitor import FailureSentinels
-from repro.errors import ConfigurationError, ConvergenceError
+from repro.errors import ConfigurationError
 from repro.obs import OBS
-from repro.spice.solver import dc_operating_point
+from repro.spice.charlib import DividerSweep, characterize_many
 from repro.harvest.monitors import (
     ADCMonitor,
     ComparatorMonitor,
@@ -70,11 +70,14 @@ class CalibrationRecord:
 def _enrollment_crosscheck(config: FSConfig) -> None:
     """Device-level sanity probe on a cold enrollment.
 
-    DC-solves the divider netlist and compares the tap voltage against
-    the analytic model enrollment used.  Runs only when observability
-    is on — it is a data-quality check riding the trace, not part of
-    enrollment itself — and never fails the enrollment: a non-converged
-    solve is itself a finding worth recording.
+    Characterizes the divider netlist through the shared
+    :mod:`repro.spice.charlib` cache and compares the tap voltage
+    against the analytic model enrollment used — a fleet deploying one
+    monitor design on one technology pays for exactly one solve, ever.
+    Runs only when observability is on — it is a data-quality check
+    riding the trace, not part of enrollment itself — and never fails
+    the enrollment: a non-converged solve is itself a finding worth
+    recording.
     """
     if not OBS.enabled:
         return
@@ -82,16 +85,22 @@ def _enrollment_crosscheck(config: FSConfig) -> None:
     # sits off the ideal ratio (enrollment absorbs that), so the
     # ratio-vs-netlist comparison is only meaningful at width 1.
     divider = VoltageDivider(config.tech, upper_width=1.0)
-    circuit = build_divider_circuit(divider, V_TYPICAL)
+    sweep = DividerSweep(
+        tech=config.tech,
+        voltages=(V_TYPICAL,),
+        tap=divider.tap,
+        total=divider.total,
+        upper_width=divider.upper_width,
+    )
     v_analytic = divider.nominal_output(V_TYPICAL)
-    with OBS.tracer.span("spice.crosscheck", circuit=circuit.title) as span:
-        try:
-            solution = dc_operating_point(circuit)
-        except ConvergenceError as err:
-            span.set(converged=False, error=str(err))
+    with OBS.tracer.span("spice.crosscheck", tech=config.tech.name) as span:
+        [result] = characterize_many([sweep])
+        v_spice = result.tap[0]
+        if v_spice <= 0.0:
+            # charlib records a non-converged point as a zero tap.
+            span.set(converged=False)
             OBS.metrics.incr("fleet.crosscheck_failures")
             return
-        v_spice = solution[divider_tap_node(divider)]
         error = abs(v_spice - v_analytic) / max(v_analytic, 1e-12)
         span.set(v_spice=v_spice, v_analytic=v_analytic, rel_error=error)
     OBS.metrics.observe("fleet.crosscheck_rel_error", error)

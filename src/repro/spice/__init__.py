@@ -9,7 +9,9 @@ This package provides the pieces of that flow the reproduction needs:
 * :mod:`repro.spice.solver` — Newton DC operating point and backward-Euler
   transient analysis;
 * :mod:`repro.spice.waveform` — waveform containers with the measurements
-  the experiments need (edge counting, frequency, averages).
+  the experiments need (edge counting, frequency, averages);
+* :mod:`repro.spice.charlib` — batch characterization sweeps behind a
+  persistent on-disk cache (the ``characterize_many`` front door).
 
 It is used to simulate the transistor-level parts of Failure Sentinels the
 FPGA cannot express: the diode-connected PMOS voltage divider (including
@@ -29,6 +31,30 @@ from repro.spice.devices import (
 from repro.spice.solver import DCSolution, dc_operating_point, transient
 from repro.spice.waveform import Waveform, TransientResult
 
+#: Names forwarded lazily from :mod:`repro.spice.charlib` (PEP 562):
+#: charlib builds netlists via :mod:`repro.analog`, which imports back
+#: into this package's submodules, so an eager import here would be
+#: circular.
+_CHARLIB_EXPORTS = (
+    "CharacterizationCache",
+    "CHARLIB_RTOL",
+    "DividerSweep",
+    "PeriodProbe",
+    "RingSweep",
+    "SweepResult",
+    "characterize_many",
+    "default_cache",
+)
+
+
+def __getattr__(name):
+    if name == "charlib" or name in _CHARLIB_EXPORTS:
+        import repro.spice.charlib as charlib
+
+        return charlib if name == "charlib" else getattr(charlib, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Circuit",
     "GROUND",
@@ -44,4 +70,5 @@ __all__ = [
     "transient",
     "Waveform",
     "TransientResult",
+    *_CHARLIB_EXPORTS,
 ]

@@ -1,0 +1,542 @@
+"""Characterization library: batch circuit sweeps behind a persistent cache.
+
+Every circuit-level workload in this repository — the fig1 frequency
+curves, divider droop checks, fleet enrollment cross-checks, DSE
+validation — reduces to the same access pattern the paper's LTspice flow
+has: *characterize a circuit once, query the curve many times*.  This
+module is the front door for that pattern, mirroring
+:func:`repro.batch.evaluate_many`:
+
+>>> from repro.spice.charlib import RingSweep, characterize_many
+>>> sweep = RingSweep(tech=TECH_90NM, n_stages=5, voltages=(0.8, 1.0, 1.2))
+>>> [result] = characterize_many([sweep], parallel=4)
+>>> result.frequency      # Hz per sweep voltage
+
+Results are cached in memory and (by default) on disk, keyed by a
+fingerprint of *everything that determines the answer*: a schema
+version, every field of the technology card, every field of the sweep
+request, and the solver tolerances.  Editing a tech card therefore
+busts the cache automatically — the key changes, the old entry is
+simply never looked up again.  Set ``REPRO_CHARLIB_CACHE`` to move the
+disk cache, or pass ``cache=CharacterizationCache(enabled=False)`` to
+force cold runs.
+
+Parallelism follows the fleet/batch idiom: the parent process resolves
+every request against the cache first, fans only the misses out to a
+``ProcessPoolExecutor``, and is the sole cache writer — workers never
+touch the cache, so parallel runs cannot race it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analog.divider import (
+    VoltageDivider,
+    build_divider_circuit,
+    divider_tap_node,
+)
+from repro.analog.ring_oscillator import (
+    RingOscillator,
+    build_ro_circuit,
+    staggered_initial_condition,
+)
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.obs import OBS
+from repro.spice import solver
+from repro.spice.devices import VoltageSource
+from repro.spice.waveform import Waveform
+from repro.tech.ptm import TechnologyCard
+from repro.units import ROOM_TEMP_K
+
+#: Bump when the stored result layout or the simulation recipe changes;
+#: old disk entries become unreachable (never deleted, never trusted).
+SCHEMA_VERSION = 1
+
+#: Documented tolerance between the fast path (stamped Jacobian +
+#: early exit) and the finite-difference/full-horizon baseline for the
+#: quantities charlib reports (frequency, current, tap voltage).  The
+#: benchmark and the equivalence tests assert against this.
+CHARLIB_RTOL = 0.02
+
+#: Environment variable overriding the default on-disk cache location.
+CACHE_ENV = "REPRO_CHARLIB_CACHE"
+
+#: Rising edges discarded before measuring frequency/current — the
+#: staggered start needs a couple of periods to settle into the limit
+#: cycle.
+SETTLE_EDGES = 2
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RingSweep:
+    """Frequency/current-vs-voltage characterization of a device-level ring.
+
+    ``periods`` bounds the simulated horizon per voltage point;
+    ``early_exit`` (default) stops each run as soon as the extracted
+    period has converged to ``period_rtol``, so the bound is rarely
+    reached.  ``points_per_period`` sets the backward-Euler step from
+    the analytic period estimate.
+    """
+
+    tech: TechnologyCard
+    n_stages: int
+    voltages: Tuple[float, ...]
+    periods: int = 12
+    points_per_period: int = 64
+    temp_k: float = ROOM_TEMP_K
+    load_cap: Optional[float] = None
+    jacobian: str = "stamp"
+    early_exit: bool = True
+    period_rtol: float = 5e-3
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "voltages", tuple(float(v) for v in self.voltages))
+        if not self.voltages:
+            raise ConfigurationError("RingSweep needs at least one voltage")
+        if self.periods < 3 or self.points_per_period < 8:
+            raise ConfigurationError("RingSweep horizon too short to measure a period")
+
+
+@dataclass(frozen=True)
+class DividerSweep:
+    """Tap-voltage/current-vs-supply characterization of the PMOS divider."""
+
+    tech: TechnologyCard
+    voltages: Tuple[float, ...]
+    tap: int = 1
+    total: int = 3
+    upper_width: float = 4.0
+    load_resistance: Optional[float] = None
+    temp_k: float = ROOM_TEMP_K
+    jacobian: str = "stamp"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "voltages", tuple(float(v) for v in self.voltages))
+        if not self.voltages:
+            raise ConfigurationError("DividerSweep needs at least one voltage")
+        # Validates tap/total/upper_width eagerly, at request-build time.
+        VoltageDivider(self.tech, self.tap, self.total, self.upper_width)
+
+
+SweepRequest = Union[RingSweep, DividerSweep]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One characterized curve, aligned with the request's ``voltages``.
+
+    ``frequency``/``current`` are populated for ring sweeps (a dead
+    point — below the oscillation cutoff or non-converged — reports
+    0.0); ``tap``/``current`` for divider sweeps.  ``fingerprint`` ties
+    the result to the exact request that produced it.
+    """
+
+    kind: str
+    fingerprint: str
+    voltages: Tuple[float, ...]
+    frequency: Tuple[float, ...] = ()
+    current: Tuple[float, ...] = ()
+    tap: Tuple[float, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "voltages": list(self.voltages),
+            "frequency": list(self.frequency),
+            "current": list(self.current),
+            "tap": list(self.tap),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepResult":
+        return cls(
+            kind=data["kind"],
+            fingerprint=data["fingerprint"],
+            voltages=tuple(data["voltages"]),
+            frequency=tuple(data.get("frequency", ())),
+            current=tuple(data.get("current", ())),
+            tap=tuple(data.get("tap", ())),
+        )
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def fingerprint(request: SweepRequest) -> str:
+    """Stable cache key for a sweep request.
+
+    Canonical JSON over the schema version, the solver tolerances,
+    *every* field of the technology card, and every field of the
+    request.  Anything that can change the curve changes the key; a new
+    tech-card field or solver tolerance bump invalidates transparently.
+    """
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "kind": type(request).__name__,
+        "solver": {
+            "residual_tol": solver.RESIDUAL_TOL,
+            "update_tol": solver.UPDATE_TOL,
+            "max_iterations": solver.MAX_ITERATIONS,
+        },
+        "tech": {
+            f.name: getattr(request.tech, f.name)
+            for f in dataclasses.fields(request.tech)
+        },
+        "request": {
+            f.name: getattr(request, f.name)
+            for f in dataclasses.fields(request)
+            if f.name != "tech"
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Early exit: online period convergence
+# ----------------------------------------------------------------------
+class PeriodProbe:
+    """Early-exit predicate for oscillator transients.
+
+    Tracks rising crossings of ``threshold`` on ``node`` (linearly
+    interpolated between accepted steps, matching
+    :meth:`Waveform.rising_edges`) and reports convergence once the last
+    ``window`` periods, after discarding ``settle`` start-up edges,
+    agree within relative spread ``rtol``.  Pass an instance as
+    ``transient(..., until=probe)``.
+    """
+
+    def __init__(self, node: str, threshold: float, rtol: float = 5e-3, settle: int = SETTLE_EDGES, window: int = 4):
+        if rtol <= 0 or window < 2:
+            raise ConfigurationError("PeriodProbe needs rtol > 0 and window >= 2")
+        self.node = node
+        self.threshold = threshold
+        self.rtol = rtol
+        self.settle = settle
+        self.window = window
+        self._t_prev: Optional[float] = None
+        self._v_prev = 0.0
+        self._edges: List[float] = []
+        self.converged = False
+
+    def __call__(self, t: float, volts) -> bool:
+        v = volts[self.node]
+        if self._t_prev is not None and self._v_prev < self.threshold <= v:
+            frac = (self.threshold - self._v_prev) / (v - self._v_prev)
+            self._edges.append(self._t_prev + frac * (t - self._t_prev))
+        self._t_prev, self._v_prev = t, v
+        usable = self._edges[self.settle :]
+        if len(usable) < self.window + 1:
+            return False
+        recent = [
+            usable[i + 1] - usable[i]
+            for i in range(len(usable) - self.window - 1, len(usable) - 1)
+        ]
+        mean = sum(recent) / len(recent)
+        if mean > 0 and (max(recent) - min(recent)) <= self.rtol * mean:
+            self.converged = True
+        return self.converged
+
+
+# ----------------------------------------------------------------------
+# Cold characterization
+# ----------------------------------------------------------------------
+def _measure_frequency(wave: Waveform, threshold: float) -> float:
+    """Mean frequency, discarding start-up edges when there are enough."""
+    edges = wave.rising_edges(threshold)
+    if len(edges) >= SETTLE_EDGES + 2:
+        edges = edges[SETTLE_EDGES:]
+    if len(edges) < 2:
+        return 0.0
+    return (len(edges) - 1) / (edges[-1] - edges[0])
+
+
+def _characterize_ring(request: RingSweep, fp: str) -> SweepResult:
+    ro = RingOscillator(request.tech, request.n_stages)
+    freqs: List[float] = []
+    currents: List[float] = []
+    for vdd in request.voltages:
+        guess = ro.period(vdd, request.temp_k)
+        if not (0.0 < guess < float("inf")):
+            freqs.append(0.0)
+            currents.append(0.0)
+            continue
+        circuit = build_ro_circuit(
+            request.tech, request.n_stages, vdd,
+            load_cap=request.load_cap, temp_k=request.temp_k,
+        )
+        supply = circuit.device("VDD")
+        assert isinstance(supply, VoltageSource)
+        until = (
+            PeriodProbe("s0", vdd / 2, rtol=request.period_rtol)
+            if request.early_exit
+            else None
+        )
+        try:
+            res = solver.transient(
+                circuit,
+                t_stop=request.periods * guess,
+                dt=guess / request.points_per_period,
+                probes={"i_vdd": supply.through},
+                initial=staggered_initial_condition(request.n_stages, vdd),
+                jacobian=request.jacobian,
+                until=until,
+            )
+        except ConvergenceError:
+            OBS.metrics.incr("spice.charlib_dead_points")
+            freqs.append(0.0)
+            currents.append(0.0)
+            continue
+        wave = res.node("s0")
+        f = _measure_frequency(wave, vdd / 2)
+        freqs.append(f)
+        edges = wave.rising_edges(vdd / 2)
+        t_start = edges[SETTLE_EDGES] if len(edges) > SETTLE_EDGES + 1 else 0.0
+        currents.append(res.probe("i_vdd").average(t_start=t_start))
+    return SweepResult(
+        kind="RingSweep",
+        fingerprint=fp,
+        voltages=request.voltages,
+        frequency=tuple(freqs),
+        current=tuple(currents),
+    )
+
+
+def _characterize_divider(request: DividerSweep, fp: str) -> SweepResult:
+    divider = VoltageDivider(request.tech, request.tap, request.total, request.upper_width)
+    tap_node = divider_tap_node(divider)
+    taps: List[float] = []
+    currents: List[float] = []
+    previous: Optional[Dict[str, float]] = None
+    for v_supply in request.voltages:
+        circuit = build_divider_circuit(
+            divider, v_supply,
+            load_resistance=request.load_resistance, temp_k=request.temp_k,
+        )
+        supply = circuit.device("VDD")
+        assert isinstance(supply, VoltageSource)
+        try:
+            # Warm-start from the previous point: adjacent sweep
+            # voltages have nearby operating points.
+            op = solver.dc_operating_point(
+                circuit, initial=previous, jacobian=request.jacobian
+            )
+        except ConvergenceError:
+            OBS.metrics.incr("spice.charlib_dead_points")
+            taps.append(0.0)
+            currents.append(0.0)
+            previous = None
+            continue
+        previous = op.voltages
+        taps.append(op[tap_node])
+        currents.append(supply.through(op.voltages))
+    return SweepResult(
+        kind="DividerSweep",
+        fingerprint=fp,
+        voltages=request.voltages,
+        tap=tuple(taps),
+        current=tuple(currents),
+    )
+
+
+def _characterize_one(request: SweepRequest, fp: Optional[str] = None) -> SweepResult:
+    """Cold-run one sweep (no cache involvement; safe in workers)."""
+    fp = fp or fingerprint(request)
+    with OBS.tracer.span(
+        "spice.characterize", kind=type(request).__name__, points=len(request.voltages)
+    ):
+        if isinstance(request, RingSweep):
+            return _characterize_ring(request, fp)
+        if isinstance(request, DividerSweep):
+            return _characterize_divider(request, fp)
+        raise ConfigurationError(f"unknown sweep request {type(request).__name__}")
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+@dataclass
+class CharlibStats:
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+
+    def summary(self) -> str:
+        return f"{self.hits} hits, {self.misses} misses, {self.disk_hits} from disk"
+
+
+class CharacterizationCache:
+    """Two-layer (memory + JSON-on-disk) store of :class:`SweepResult`.
+
+    Disk entries are one human-readable JSON file per fingerprint,
+    published with atomic ``os.replace`` — concurrent writers of the
+    same key write identical bytes, so last-rename-wins is harmless.
+    ``enabled=False`` makes every lookup a miss (the cold baseline the
+    benchmark measures against).  ``cache_dir=None`` keeps the cache
+    memory-only.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None, enabled: bool = True):
+        self.enabled = enabled
+        self.cache_dir = cache_dir
+        self._memory: Dict[str, SweepResult] = {}
+        self.stats = CharlibStats()
+        if cache_dir:
+            try:
+                os.makedirs(cache_dir, exist_ok=True)
+            except OSError:
+                # Unwritable location (read-only home, sandbox): degrade
+                # to memory-only rather than failing characterization.
+                self.cache_dir = None
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # ------------------------------------------------------------------
+    def get(self, fp: str) -> Optional[SweepResult]:
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        result = self._memory.get(fp)
+        if result is not None:
+            self.stats.hits += 1
+            OBS.metrics.incr("spice.charlib_hits")
+            return result
+        result = self._load_disk(fp)
+        if result is not None:
+            self._memory[fp] = result
+            self.stats.disk_hits += 1
+            OBS.metrics.incr("spice.charlib_hits")
+            return result
+        self.stats.misses += 1
+        return None
+
+    def put(self, fp: str, result: SweepResult) -> None:
+        if not self.enabled:
+            return
+        self._memory[fp] = result
+        self._store_disk(fp, result)
+
+    # ------------------------------------------------------------------
+    def _path(self, fp: str) -> Optional[str]:
+        if not self.cache_dir:
+            return None
+        return os.path.join(self.cache_dir, f"charlib-{fp[:32]}.json")
+
+    def _load_disk(self, fp: str) -> Optional[SweepResult]:
+        path = self._path(fp)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if data.get("schema") != SCHEMA_VERSION or data.get("fingerprint") != fp:
+            return None
+        try:
+            return SweepResult.from_dict(data)
+        except (KeyError, TypeError):
+            return None
+
+    def _store_disk(self, fp: str, result: SweepResult) -> None:
+        path = self._path(fp)
+        if path is None:
+            return
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(result.to_dict(), handle)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except (OSError, UnboundLocalError):
+                pass
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CHARLIB_CACHE`` if set, else ``~/.cache/repro/charlib``."""
+    override = os.environ.get(CACHE_ENV)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "charlib")
+
+
+_DEFAULT_CACHE: Optional[CharacterizationCache] = None
+
+
+def default_cache() -> CharacterizationCache:
+    """The process-wide shared cache (experiments, fleet, DSE all hit it)."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = CharacterizationCache(cache_dir=default_cache_dir())
+    return _DEFAULT_CACHE
+
+
+# ----------------------------------------------------------------------
+# The front door
+# ----------------------------------------------------------------------
+def characterize_many(
+    requests: Sequence[SweepRequest],
+    *,
+    parallel: Optional[int] = None,
+    cache: Optional[CharacterizationCache] = None,
+    cache_dir: Optional[str] = None,
+) -> List[SweepResult]:
+    """Characterize a batch of sweeps, cached and optionally parallel.
+
+    Mirrors :func:`repro.api.evaluate_many`: results come back in
+    request order.  ``cache`` defaults to the process-wide
+    :func:`default_cache`; pass ``cache_dir`` to point a fresh cache at
+    a specific directory instead, or a
+    ``CharacterizationCache(enabled=False)`` to force cold runs.
+    ``parallel=k`` fans cache misses out over ``k`` worker processes;
+    the parent alone writes the cache.
+    """
+    requests = list(requests)
+    if cache is None:
+        cache = CharacterizationCache(cache_dir) if cache_dir else default_cache()
+    fps = [fingerprint(r) for r in requests]
+    with OBS.tracer.span("spice.characterize_many", requests=len(requests)) as sp:
+        results: List[Optional[SweepResult]] = [cache.get(fp) for fp in fps]
+        miss_idx = [i for i, r in enumerate(results) if r is None]
+        # Distinct misses only: duplicated requests in one batch solve once.
+        pending: Dict[str, List[int]] = {}
+        for i in miss_idx:
+            pending.setdefault(fps[i], []).append(i)
+        OBS.metrics.incr("spice.charlib_misses", len(pending))
+        if pending:
+            first = [idx[0] for idx in pending.values()]
+            if parallel and parallel > 1 and len(first) > 1:
+                from concurrent.futures import ProcessPoolExecutor
+
+                workers = min(parallel, len(first))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    fresh = list(
+                        pool.map(
+                            _characterize_one,
+                            [requests[i] for i in first],
+                            [fps[i] for i in first],
+                        )
+                    )
+            else:
+                fresh = [_characterize_one(requests[i], fps[i]) for i in first]
+            for result in fresh:
+                cache.put(result.fingerprint, result)
+                for i in pending[result.fingerprint]:
+                    results[i] = result
+        sp.set(hits=len(requests) - len(miss_idx), misses=len(pending))
+    return results  # type: ignore[return-value]

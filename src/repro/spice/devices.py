@@ -37,6 +37,22 @@ class Resistor(Device):
         i = (voltages.get(a, 0.0) - voltages.get(b, 0.0)) / self.resistance
         return {a: i, b: -i}
 
+    def stamp(self, x, idx, jac, res) -> None:
+        ia, ib = idx
+        _stamp_conductance(x, ia, ib, 1.0 / self.resistance, jac, res)
+
+
+def _stamp_conductance(x, ia, ib, g, jac, res) -> None:
+    """Two-terminal conductance stamp: ``i = g * (Va - Vb)`` out of ``a``."""
+    i = g * (x[ia] - x[ib])
+    res[ia] += i
+    res[ib] -= i
+    if jac is not None:
+        jac[ia, ia] += g
+        jac[ib, ib] += g
+        jac[ia, ib] -= g
+        jac[ib, ia] -= g
+
 
 class CurrentSource(Device):
     """Constant current source pushing ``current`` from ``a`` to ``b``
@@ -50,6 +66,11 @@ class CurrentSource(Device):
     def currents(self, voltages: Mapping[str, float]) -> Dict[str, float]:
         a, b = self.terminals
         return {a: self.current, b: -self.current}
+
+    def stamp(self, x, idx, jac, res) -> None:
+        ia, ib = idx
+        res[ia] += self.current
+        res[ib] -= self.current
 
 
 class VoltageSource(Device):
@@ -78,6 +99,13 @@ class VoltageSource(Device):
         i = (v - self.voltage) * self.conductance
         return {pos: i, neg: -i}
 
+    def stamp(self, x, idx, jac, res) -> None:
+        ipos, ineg = idx
+        _stamp_conductance(x, ipos, ineg, self.conductance, jac, res)
+        shift = self.voltage * self.conductance
+        res[ipos] -= shift
+        res[ineg] += shift
+
     def through(self, voltages: Mapping[str, float]) -> float:
         """Current delivered by the source into ``pos``'s external network."""
         pos, neg = self.terminals
@@ -100,6 +128,11 @@ class Switch(Device):
         r = self.on_resistance if self.closed else self.off_resistance
         i = (voltages.get(a, 0.0) - voltages.get(b, 0.0)) / r
         return {a: i, b: -i}
+
+    def stamp(self, x, idx, jac, res) -> None:
+        ia, ib = idx
+        r = self.on_resistance if self.closed else self.off_resistance
+        _stamp_conductance(x, ia, ib, 1.0 / r, jac, res)
 
 
 class Capacitor(Device):
@@ -137,6 +170,16 @@ class Capacitor(Device):
         v = voltages.get(a, 0.0) - voltages.get(b, 0.0)
         i = self.capacitance * (v - self._v_prev) / self._dt
         return {a: i, b: -i}
+
+    def stamp(self, x, idx, jac, res) -> None:
+        if self._dt <= 0.0:
+            return
+        ia, ib = idx
+        geq = self.capacitance / self._dt
+        _stamp_conductance(x, ia, ib, geq, jac, res)
+        shift = geq * self._v_prev
+        res[ia] -= shift
+        res[ib] += shift
 
     @property
     def voltage(self) -> float:
@@ -181,6 +224,68 @@ class MOSFET(Device):
         i_sat = self.width * (self.tech.c_switch / self.tech.k_delay) * drive
         v_knee = max(v_od, 4 * thermal_voltage(self.temp_k))
         return i_sat * math.tanh(max(v_ds, 0.0) / v_knee)
+
+    def _drain_current_derivs(self, v_gs: float, v_ds: float):
+        """``(I_d, dI/dv_gs, dI/dv_ds)`` — analytic mirror of
+        :meth:`_drain_current` for the solver's stamped Jacobian."""
+        tech = self.tech
+        v_od, slope = tech.soft_overdrive_slope(v_gs, self.temp_k)
+        if v_od <= 0.0:
+            return 0.0, 0.0, 0.0
+        denom = 1.0 + tech.theta * v_od
+        pow_a = v_od**tech.alpha
+        scale = self.width * (tech.c_switch / tech.k_delay) * tech.mobility_factor(self.temp_k)
+        i_sat = scale * pow_a / denom
+        # d(drive)/d(v_od), quotient rule on v_od^alpha / (1 + theta v_od).
+        ddrive = (tech.alpha * pow_a / v_od * denom - pow_a * tech.theta) / (denom * denom)
+        di_sat = scale * ddrive * slope
+        vt4 = 4.0 * thermal_voltage(self.temp_k)
+        if v_od > vt4:
+            v_knee, dknee = v_od, slope
+        else:
+            v_knee, dknee = vt4, 0.0
+        vds_c = v_ds if v_ds > 0.0 else 0.0
+        th = math.tanh(vds_c / v_knee)
+        sech2 = 1.0 - th * th
+        i = i_sat * th
+        d_gs = di_sat * th - i_sat * sech2 * vds_c * dknee / (v_knee * v_knee)
+        d_ds = i_sat * sech2 / v_knee
+        return i, d_gs, d_ds
+
+    def stamp(self, x, idx, jac, res) -> None:
+        """Analytic KCL stamp (gate carries no current).
+
+        Mirrors the source/drain-swap and PMOS sign logic of
+        :meth:`currents`; repeated node indices (diode-connected use)
+        accumulate naturally because everything is ``+=``.
+        """
+        di, gi, si = idx
+        vd, vg, vs = x[di], x[gi], x[si]
+        if self.polarity == "n":
+            if vd >= vs:
+                i, d1, d2 = self._drain_current_derivs(vg - vs, vd - vs)
+                ddd, ddg, dds = d2, d1, -d1 - d2
+            else:
+                ip, d1, d2 = self._drain_current_derivs(vg - vd, vs - vd)
+                i = -ip
+                ddd, ddg, dds = d1 + d2, -d1, -d2
+        else:
+            if vs >= vd:
+                ip, d1, d2 = self._drain_current_derivs(vs - vg, vs - vd)
+                i = -ip
+                ddd, ddg, dds = d2, d1, -d1 - d2
+            else:
+                i, d1, d2 = self._drain_current_derivs(vd - vg, vd - vs)
+                ddd, ddg, dds = d1 + d2, -d1, -d2
+        res[di] += i
+        res[si] -= i
+        if jac is not None:
+            jac[di, di] += ddd
+            jac[di, gi] += ddg
+            jac[di, si] += dds
+            jac[si, di] -= ddd
+            jac[si, gi] -= ddg
+            jac[si, si] -= dds
 
     def currents(self, voltages: Mapping[str, float]) -> Dict[str, float]:
         d, g, s = self.terminals

@@ -15,6 +15,9 @@ from repro.errors import NetlistError
 #: Reference node name.  Its voltage is 0 by definition.
 GROUND = "0"
 
+#: Perturbation for the generic per-device finite-difference stamp.
+STAMP_FD_EPS = 1e-7
+
 
 class Device:
     """Base class for circuit elements.
@@ -23,7 +26,9 @@ class Device:
     :meth:`currents`, returning the current flowing *out of each terminal
     node into the device* given the node-voltage map.  Optionally they
     carry state for transient analysis via :meth:`begin_step` /
-    :meth:`commit_step`.
+    :meth:`commit_step`, and an analytic :meth:`stamp` for the solver's
+    fast assembly path (the base implementation falls back to per-device
+    finite differences over :meth:`currents`, so any device works).
     """
 
     name: str
@@ -31,6 +36,35 @@ class Device:
 
     def currents(self, voltages: Mapping[str, float]) -> Dict[str, float]:
         raise NotImplementedError
+
+    def stamp(self, x, idx, jac, res) -> None:
+        """Accumulate KCL residual and Jacobian contributions.
+
+        ``x`` is the extended node-voltage vector (the solver appends a
+        ground slot pinned at 0 V) and ``idx`` holds this device's
+        terminal positions in it.  Contributions are ``+=``-accumulated
+        into ``res`` (length ``n+1``) and, when not ``None``, ``jac``
+        (``(n+1, n+1)``); the solver discards the ground row/column.
+
+        This fallback finite-differences :meth:`currents` over the
+        device's own terminals only — already far cheaper than a
+        whole-circuit difference — while subclasses with closed-form
+        derivatives override it entirely.
+        """
+        cols: Dict[str, int] = {}
+        for terminal, i in zip(self.terminals, idx):
+            cols[terminal] = i
+        volts = {terminal: float(x[i]) for terminal, i in cols.items()}
+        base = self.currents(volts)
+        for node, current in base.items():
+            res[cols[node]] += current
+        if jac is None:
+            return
+        for terminal, col in cols.items():
+            bumped = dict(volts)
+            bumped[terminal] += STAMP_FD_EPS
+            for node, current in self.currents(bumped).items():
+                jac[cols[node], col] += (current - base[node]) / STAMP_FD_EPS
 
     # -- transient hooks ------------------------------------------------
     def begin_step(self, dt: float) -> None:

@@ -1,11 +1,32 @@
 """Numerical solvers: Newton DC operating point and backward-Euler transient.
 
 The circuits this library simulates are small (a divider stack, a ring of
-a dozen inverters, a level shifter), so the solver favours robustness and
-clarity over asymptotic speed: residuals come straight from the devices'
-KCL contributions and the Jacobian is built by finite differences with a
-dense numpy solve.  Damped Newton with automatic source-stepping fallback
-handles the strongly nonlinear MOSFET stacks.
+a dozen inverters, a level shifter), but they sit on the hot path of every
+circuit-level workload, so the solver has a fast default and a simple
+fallback:
+
+* ``jacobian="stamp"`` (default) — devices assemble their residual and
+  analytic Jacobian directly into preallocated numpy arrays through an
+  integer node-index map (:class:`_System`).  Linear devices are folded
+  into a conductance matrix once per Newton solve; only the nonlinear
+  devices are revisited per iteration.
+* ``jacobian="fd"`` — the original path: residuals from the devices' KCL
+  dicts and a whole-circuit finite-difference Jacobian.  Kept as a
+  cross-check and for exotic hand-written devices.
+
+Damped Newton with automatic source-stepping fallback handles the
+strongly nonlinear MOSFET stacks; source stepping scales the sources
+through the solve (``_System.vsrc_scale``) instead of writing the device
+objects, so concurrent solves sharing a circuit cannot race.
+
+The transient supports fixed-step backward Euler (the original
+semantics, including the recorded restart-from-zeros recovery) and an
+adaptive mode (``adaptive=True``) that grows/shrinks dt on Newton
+iteration count and *rejects* failed steps — retrying the same step at a
+smaller dt — instead of restarting from zeros.  An optional ``until``
+callable ends the run early (used by ring-oscillator characterization to
+stop once the extracted period converges; see
+:mod:`repro.spice.charlib`).
 """
 
 from __future__ import annotations
@@ -16,10 +37,16 @@ from typing import Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
-from repro.errors import ConvergenceError
+from repro.errors import ConfigurationError, ConvergenceError
 from repro.obs import OBS
-from repro.spice.netlist import Circuit, GROUND
-from repro.spice.devices import VoltageSource
+from repro.spice.netlist import Circuit, Device, GROUND
+from repro.spice.devices import (
+    Capacitor,
+    CurrentSource,
+    Resistor,
+    Switch,
+    VoltageSource,
+)
 from repro.spice.waveform import TransientResult
 
 #: Default Newton tolerances: residual in amps, update in volts.
@@ -27,6 +54,17 @@ RESIDUAL_TOL = 1e-9
 UPDATE_TOL = 1e-7
 MAX_ITERATIONS = 120
 JACOBIAN_EPS = 1e-6
+
+#: Jacobian assembly modes accepted by the solver entry points.
+JACOBIAN_MODES = ("stamp", "fd")
+
+# Adaptive-dt policy: grow the step after an easy solve, shrink it after
+# a laboured one, halve it (bounded by dt_min) on a rejected step.
+GROW_ITERATIONS = 8
+SHRINK_ITERATIONS = 24
+DT_GROWTH = 2.0
+DT_MIN_FRACTION = 1.0 / 64.0
+DT_MAX_FACTOR = 8.0
 
 
 @dataclass
@@ -65,6 +103,144 @@ def _jacobian(circuit: Circuit, nodes: List[str], x: np.ndarray, f0: np.ndarray)
     return jac
 
 
+class _System:
+    """A circuit compiled for repeated Newton solves.
+
+    Holds the node ordering, integer terminal indices per device, and
+    scratch arrays sized ``n + 1``: the extra slot is the ground node,
+    pinned at 0 V, so device stamps never branch on ground — its row and
+    column are simply discarded before the linear solve.
+
+    ``vsrc_scale`` scales every :class:`VoltageSource` *through the
+    assembly* (residual shift only; the conductance is unchanged), which
+    is how source stepping ramps supplies without mutating shared device
+    objects.
+    """
+
+    def __init__(self, circuit: Circuit, jacobian: str = "stamp"):
+        if jacobian not in JACOBIAN_MODES:
+            raise ConfigurationError(
+                f"unknown jacobian mode {jacobian!r}; expected one of {JACOBIAN_MODES}"
+            )
+        self.circuit = circuit
+        self.jacobian_mode = jacobian
+        self.vsrc_scale = 1.0
+        self.nodes = circuit.nodes()
+        n = len(self.nodes)
+        self.n = n
+        index = {node: i for i, node in enumerate(self.nodes)}
+        index[GROUND] = n
+        self.index = index
+        self.devices = circuit.devices
+        self._idx = [
+            tuple(index[t] for t in dev.terminals) for dev in self.devices
+        ]
+        base = Device
+        self.dynamic = [
+            dev
+            for dev in self.devices
+            if type(dev).begin_step is not base.begin_step
+            or type(dev).commit_step is not base.commit_step
+        ]
+        self._linear: list = []
+        self._sources: list = []
+        self._nonlinear: list = []
+        for dev, idx in zip(self.devices, self._idx):
+            if isinstance(dev, (Resistor, Switch, Capacitor, CurrentSource, VoltageSource)):
+                self._linear.append((dev, idx))
+                if isinstance(dev, VoltageSource):
+                    self._sources.append((dev, idx))
+            else:
+                self._nonlinear.append((dev, idx))
+        self._x_ext = np.zeros(n + 1)
+        self._g = np.zeros((n + 1, n + 1))
+        self._b = np.zeros(n + 1)
+
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Refresh the linear (conductance + constant) stamps.
+
+        Called once per Newton solve: switch state, capacitor companion
+        values (dt, previous voltage), writable source voltages and the
+        source-stepping scale may all have changed since the last solve,
+        but none of them change *within* one.
+        """
+        if self.jacobian_mode != "stamp":
+            return
+        g = self._g
+        b = self._b
+        g[:] = 0.0
+        b[:] = 0.0
+        scale = self.vsrc_scale
+        for dev, idx in self._linear:
+            ia, ib = idx
+            if isinstance(dev, Resistor):
+                self._conductance(g, ia, ib, 1.0 / dev.resistance)
+            elif isinstance(dev, Switch):
+                r = dev.on_resistance if dev.closed else dev.off_resistance
+                self._conductance(g, ia, ib, 1.0 / r)
+            elif isinstance(dev, Capacitor):
+                if dev._dt > 0.0:
+                    geq = dev.capacitance / dev._dt
+                    self._conductance(g, ia, ib, geq)
+                    shift = geq * dev._v_prev
+                    b[ia] -= shift
+                    b[ib] += shift
+            elif isinstance(dev, VoltageSource):
+                gc = dev.conductance
+                self._conductance(g, ia, ib, gc)
+                shift = gc * scale * dev.voltage
+                b[ia] -= shift
+                b[ib] += shift
+            else:  # CurrentSource
+                b[ia] += dev.current
+                b[ib] -= dev.current
+
+    @staticmethod
+    def _conductance(g: np.ndarray, ia: int, ib: int, gv: float) -> None:
+        g[ia, ia] += gv
+        g[ib, ib] += gv
+        g[ia, ib] -= gv
+        g[ib, ia] -= gv
+
+    # ------------------------------------------------------------------
+    def stamp(self, x: np.ndarray):
+        """Residual and Jacobian at ``x`` via device stamps."""
+        n = self.n
+        xe = self._x_ext
+        xe[:n] = x
+        xe[n] = 0.0
+        res = self._g @ xe + self._b
+        jac = self._g.copy()
+        for dev, idx in self._nonlinear:
+            dev.stamp(xe, idx, jac, res)
+        return res[:n], jac[:n, :n]
+
+    # ------------------------------------------------------------------
+    def residual_vector(self, x: np.ndarray) -> np.ndarray:
+        """Legacy dict-path residual (fd mode), source scale applied."""
+        f = _residual_vector(self.circuit, self.nodes, x)
+        scale = self.vsrc_scale
+        if scale != 1.0:
+            n = self.n
+            for dev, (ipos, ineg) in self._sources:
+                shift = (1.0 - scale) * dev.voltage * dev.conductance
+                if ipos < n:
+                    f[ipos] += shift
+                if ineg < n:
+                    f[ineg] -= shift
+        return f
+
+    def fd_jacobian(self, x: np.ndarray, f0: np.ndarray) -> np.ndarray:
+        n = len(self.nodes)
+        jac = np.zeros((n, n))
+        for j in range(n):
+            xp = x.copy()
+            xp[j] += JACOBIAN_EPS
+            jac[:, j] = (self.residual_vector(xp) - f0) / JACOBIAN_EPS
+        return jac
+
+
 @dataclass
 class NewtonOutcome:
     """One Newton attempt: the solution (or None) plus its diagnostics."""
@@ -78,16 +254,29 @@ class NewtonOutcome:
         return self.x is not None
 
 
-def _newton(circuit: Circuit, nodes: List[str], x0: np.ndarray, max_iter: int = MAX_ITERATIONS) -> NewtonOutcome:
-    """Damped Newton iteration with convergence diagnostics."""
+def _newton(circuit, nodes: List[str], x0: np.ndarray, max_iter: int = MAX_ITERATIONS) -> NewtonOutcome:
+    """Damped Newton iteration with convergence diagnostics.
+
+    ``circuit`` is normally a compiled :class:`_System`; a raw
+    :class:`Circuit` is accepted for backward compatibility and wrapped
+    on the spot.
+    """
+    system = circuit if isinstance(circuit, _System) else _System(circuit)
+    system.prepare()
+    use_stamp = system.jacobian_mode == "stamp"
     x = x0.copy()
     residual_norm = math.inf
     for iteration in range(max_iter):
-        f0 = _residual_vector(circuit, nodes, x)
+        if use_stamp:
+            f0, jac = system.stamp(x)
+        else:
+            f0 = system.residual_vector(x)
+            jac = None
         residual_norm = float(np.max(np.abs(f0)))
         if residual_norm < RESIDUAL_TOL:
             return NewtonOutcome(x, iteration, residual_norm)
-        jac = _jacobian(circuit, nodes, x, f0)
+        if jac is None:
+            jac = system.fd_jacobian(x, f0)
         try:
             dx = np.linalg.solve(jac, -f0)
         except np.linalg.LinAlgError:
@@ -107,21 +296,29 @@ def _newton(circuit: Circuit, nodes: List[str], x0: np.ndarray, max_iter: int = 
     return NewtonOutcome(None, max_iter, residual_norm)
 
 
-def dc_operating_point(circuit: Circuit, initial: Optional[Mapping[str, float]] = None) -> DCSolution:
+def dc_operating_point(
+    circuit: Circuit,
+    initial: Optional[Mapping[str, float]] = None,
+    *,
+    jacobian: str = "stamp",
+) -> DCSolution:
     """Solve the DC operating point with Newton + source stepping.
 
     ``initial`` optionally seeds node voltages (e.g. from a previous
     nearby solve, which dramatically speeds voltage sweeps).
+    ``jacobian`` selects analytic device stamps (default) or the
+    finite-difference fallback.
     """
     circuit.validate()
-    nodes = circuit.nodes()
+    system = _System(circuit, jacobian=jacobian)
+    nodes = system.nodes
     x0 = np.zeros(len(nodes))
     if initial:
         for i, node in enumerate(nodes):
             x0[i] = initial.get(node, 0.0)
 
     with OBS.tracer.span("spice.dc", circuit=circuit.title) as sp:
-        outcome = _newton(circuit, nodes, x0)
+        outcome = _newton(system, nodes, x0)
         iterations = outcome.iterations
         if not outcome.converged:
             OBS.metrics.incr("spice.source_stepping_fallbacks")
@@ -130,11 +327,12 @@ def dc_operating_point(circuit: Circuit, initial: Optional[Mapping[str, float]] 
                 circuit=circuit.title,
                 residual_norm=outcome.residual_norm,
             )
-            outcome = _source_stepping(circuit, nodes, x0)
+            outcome = _source_stepping(system, nodes, x0)
             iterations += outcome.iterations
         OBS.metrics.incr("spice.dc_solves")
+        OBS.metrics.incr(f"spice.dc_solves_{system.jacobian_mode}")
         OBS.metrics.incr("spice.newton_iterations", iterations)
-        sp.set(iterations=iterations)
+        sp.set(iterations=iterations, jacobian=system.jacobian_mode)
         if not outcome.converged:
             OBS.metrics.incr("spice.dc_convergence_failures")
             raise ConvergenceError(
@@ -145,25 +343,27 @@ def dc_operating_point(circuit: Circuit, initial: Optional[Mapping[str, float]] 
         return DCSolution(voltages=_voltage_map(nodes, outcome.x), iterations=iterations)
 
 
-def _source_stepping(circuit: Circuit, nodes: List[str], x0: np.ndarray) -> NewtonOutcome:
-    """Ramp all voltage sources from 0 to full value in steps."""
-    sources = [d for d in circuit.devices if isinstance(d, VoltageSource)]
-    targets = [s.voltage for s in sources]
+def _source_stepping(system: _System, nodes: List[str], x0: np.ndarray) -> NewtonOutcome:
+    """Ramp all voltage sources from 0 to full value in steps.
+
+    The ramp rides ``system.vsrc_scale`` through the assembly — the
+    :class:`VoltageSource` objects themselves are never written, so
+    concurrent solves sharing a circuit cannot observe a partial ramp.
+    """
     x = x0.copy()
     iterations = 0
+    outcome = NewtonOutcome(None, 0, math.inf)
     try:
         for frac in (0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
-            for src, tgt in zip(sources, targets):
-                src.voltage = tgt * frac
-            outcome = _newton(circuit, nodes, x)
+            system.vsrc_scale = frac
+            outcome = _newton(system, nodes, x)
             iterations += outcome.iterations
             if not outcome.converged:
                 return NewtonOutcome(None, iterations, outcome.residual_norm)
             x = outcome.x
         return NewtonOutcome(x, iterations, outcome.residual_norm)
     finally:
-        for src, tgt in zip(sources, targets):
-            src.voltage = tgt
+        system.vsrc_scale = 1.0
 
 
 def transient(
@@ -173,16 +373,25 @@ def transient(
     probes: Optional[Dict[str, Callable[[Mapping[str, float]], float]]] = None,
     initial: Optional[Mapping[str, float]] = None,
     on_step: Optional[Callable[[float, Mapping[str, float]], None]] = None,
+    *,
+    jacobian: str = "stamp",
+    adaptive: bool = False,
+    dt_min: Optional[float] = None,
+    dt_max: Optional[float] = None,
+    until: Optional[Callable[[float, Mapping[str, float]], bool]] = None,
 ) -> TransientResult:
     """Backward-Euler transient analysis.
 
     Parameters
     ----------
     t_stop, dt:
-        Simulation horizon and fixed step size (s).
+        Simulation horizon and step size (s).  With ``adaptive=False``
+        (default) ``dt`` is fixed, exactly as before.
     probes:
         Optional named callables evaluated on the node-voltage map at
-        every accepted step (e.g. a source's delivered current).
+        every accepted step (e.g. a source's delivered current).  The
+        map is built once per accepted step and shared between probes,
+        ``on_step`` and ``until``.
     initial:
         Node voltages at t=0.  When omitted, a DC operating point is
         computed first.  Pass explicit voltages to start an oscillator
@@ -190,37 +399,71 @@ def transient(
     on_step:
         Callback after each accepted step — used by enable-sequencing
         helpers to toggle switches mid-run.
+    jacobian:
+        ``"stamp"`` (analytic device stamps, default) or ``"fd"``.
+    adaptive:
+        Adaptive time-stepping: dt grows after easy Newton solves
+        (≤ :data:`GROW_ITERATIONS` iterations), shrinks after laboured
+        ones, and a failed step is *rejected* — retried at a smaller dt
+        down to ``dt_min`` — instead of restarting from zeros.
+        ``dt_min``/``dt_max`` default to ``dt/64`` and ``dt*8``.
+    until:
+        Optional early-exit predicate called as ``until(t, volts)``
+        after each accepted step; returning True ends the run.
     """
     circuit.validate()
-    nodes = circuit.nodes()
+    system = _System(circuit, jacobian=jacobian)
+    nodes = system.nodes
 
     if initial is None:
-        op = dc_operating_point(circuit)
+        op = dc_operating_point(circuit, jacobian=jacobian)
         volts = dict(op.voltages)
     else:
         volts = {GROUND: 0.0}
         for node in nodes:
             volts[node] = float(initial.get(node, 0.0))
 
-    for dev in circuit.devices:
+    for dev in system.devices:
         dev.reset_state(volts)
 
     result = TransientResult()
     x = np.array([volts[n] for n in nodes])
-    t = 0.0
     probes = probes or {}
-    result.record(t, _voltage_map(nodes, x), {k: f(_voltage_map(nodes, x)) for k, f in probes.items()})
+    vmap = _voltage_map(nodes, x)
+    result.record(0.0, vmap, {k: f(vmap) for k, f in probes.items()})
 
+    if adaptive:
+        return _transient_adaptive(
+            system, result, x, t_stop, dt, dt_min, dt_max, probes, on_step, until
+        )
+    return _transient_fixed(system, result, x, t_stop, dt, probes, on_step, until)
+
+
+def _transient_fixed(
+    system: _System,
+    result: TransientResult,
+    x: np.ndarray,
+    t_stop: float,
+    dt: float,
+    probes: Dict[str, Callable],
+    on_step: Optional[Callable],
+    until: Optional[Callable],
+) -> TransientResult:
+    """Fixed-dt loop with the recorded restart-from-zeros recovery."""
+    circuit = system.circuit
+    nodes = system.nodes
     steps = int(round(t_stop / dt))
     newton_iterations = 0
+    accepted = 0
+    t = 0.0
     with OBS.tracer.span(
         "spice.transient", circuit=circuit.title, t_stop=t_stop, dt=dt, steps=steps
     ) as sp:
         for _ in range(steps):
             t += dt
-            for dev in circuit.devices:
+            for dev in system.dynamic:
                 dev.begin_step(dt)
-            outcome = _newton(circuit, nodes, x)
+            outcome = _newton(system, nodes, x)
             newton_iterations += outcome.iterations
             if not outcome.converged:
                 # Retry once from a flat start before giving up.  A
@@ -230,7 +473,7 @@ def transient(
                 # callers to inspect.
                 failed = outcome
                 OBS.metrics.incr("spice.step_convergence_failures")
-                outcome = _newton(circuit, nodes, np.zeros(len(nodes)))
+                outcome = _newton(system, nodes, np.zeros(len(nodes)))
                 newton_iterations += outcome.iterations
                 if not outcome.converged:
                     OBS.metrics.incr("spice.transient_aborts")
@@ -250,13 +493,101 @@ def transient(
                     residual_norm=failed.residual_norm,
                 )
             x = outcome.x
+            accepted += 1
             vmap = _voltage_map(nodes, x)
-            for dev in circuit.devices:
+            for dev in system.dynamic:
                 dev.commit_step(vmap)
             result.record(t, vmap, {k: f(vmap) for k, f in probes.items()})
             if on_step is not None:
                 on_step(t, vmap)
-        OBS.metrics.incr("spice.transient_steps", steps)
+            if until is not None and until(t, vmap):
+                break
+        OBS.metrics.incr("spice.transient_steps", accepted)
+        OBS.metrics.incr(f"spice.transient_solves_{system.jacobian_mode}", accepted)
         OBS.metrics.incr("spice.newton_iterations", newton_iterations)
-        sp.set(iterations=newton_iterations, restarts=len(result.restarts))
+        sp.set(
+            iterations=newton_iterations,
+            restarts=len(result.restarts),
+            accepted=accepted,
+            jacobian=system.jacobian_mode,
+        )
+    return result
+
+
+def _transient_adaptive(
+    system: _System,
+    result: TransientResult,
+    x: np.ndarray,
+    t_stop: float,
+    dt: float,
+    dt_min: Optional[float],
+    dt_max: Optional[float],
+    probes: Dict[str, Callable],
+    on_step: Optional[Callable],
+    until: Optional[Callable],
+) -> TransientResult:
+    """Adaptive-dt loop: grow/shrink on iteration count, reject failures."""
+    circuit = system.circuit
+    nodes = system.nodes
+    dt_min = dt * DT_MIN_FRACTION if dt_min is None else dt_min
+    dt_max = dt * DT_MAX_FACTOR if dt_max is None else dt_max
+    if not 0.0 < dt_min <= dt <= dt_max:
+        raise ConfigurationError(
+            f"need 0 < dt_min <= dt <= dt_max, got {dt_min} <= {dt} <= {dt_max}"
+        )
+    h = dt
+    t = 0.0
+    accepted = rejected = 0
+    newton_iterations = 0
+    with OBS.tracer.span(
+        "spice.transient",
+        circuit=circuit.title,
+        t_stop=t_stop,
+        dt=dt,
+        adaptive=True,
+    ) as sp:
+        while t < t_stop * (1.0 - 1e-12):
+            h_step = min(h, t_stop - t)
+            for dev in system.dynamic:
+                dev.begin_step(h_step)
+            outcome = _newton(system, nodes, x)
+            newton_iterations += outcome.iterations
+            if not outcome.converged:
+                rejected += 1
+                OBS.metrics.incr("spice.rejected_steps")
+                if h_step <= dt_min * (1.0 + 1e-12):
+                    OBS.metrics.incr("spice.transient_aborts")
+                    raise ConvergenceError(
+                        f"transient step failed for {circuit.title!r} at minimum dt",
+                        t=t + h_step,
+                        iterations=outcome.iterations,
+                        residual_norm=outcome.residual_norm,
+                    )
+                h = max(h_step / 2.0, dt_min)
+                continue
+            t += h_step
+            accepted += 1
+            x = outcome.x
+            vmap = _voltage_map(nodes, x)
+            for dev in system.dynamic:
+                dev.commit_step(vmap)
+            result.record(t, vmap, {k: f(vmap) for k, f in probes.items()})
+            if on_step is not None:
+                on_step(t, vmap)
+            if until is not None and until(t, vmap):
+                break
+            if outcome.iterations <= GROW_ITERATIONS:
+                h = min(h * DT_GROWTH, dt_max)
+            elif outcome.iterations >= SHRINK_ITERATIONS:
+                h = max(h / DT_GROWTH, dt_min)
+        result.rejected_steps = rejected
+        OBS.metrics.incr("spice.transient_steps", accepted)
+        OBS.metrics.incr(f"spice.transient_solves_{system.jacobian_mode}", accepted)
+        OBS.metrics.incr("spice.newton_iterations", newton_iterations)
+        sp.set(
+            iterations=newton_iterations,
+            accepted=accepted,
+            rejected=rejected,
+            jacobian=system.jacobian_mode,
+        )
     return result

@@ -92,3 +92,32 @@ class TestScalingTrends:
         hi = model.evaluate(DesignPoint(7, 10e3, 12, 4e-6, 49, 10))
         assert hi.mean_current > 5 * lo.mean_current
         assert hi.granularity == pytest.approx(lo.granularity)
+
+
+class TestSpiceCrosscheck:
+    """Device-level validation routes through the characterization cache."""
+
+    def test_crosscheck_reports_per_point(self, model):
+        from repro.spice.charlib import CharacterizationCache
+
+        cache = CharacterizationCache()
+        a = DesignPoint(5, 5e3, 10, 2e-6, 49, 8)
+        b = DesignPoint(5, 1e3, 10, 4e-6, 49, 8)  # same ring length
+        checks = model.spice_crosscheck([a, b], cache=cache)
+        assert len(checks) == 2
+        for check in checks:
+            assert check["ro_length"] == 5
+            assert check["oscillates"] is True
+            # Lumped analytic vs device level: trend-band agreement.
+            assert check["max_rel_error"] < 0.5
+        # One distinct ring length -> exactly one cold characterization.
+        assert cache.stats.misses == 1 and len(cache) == 1
+
+    def test_crosscheck_cache_shared_across_calls(self, model):
+        from repro.spice.charlib import CharacterizationCache
+
+        cache = CharacterizationCache()
+        point = DesignPoint(5, 5e3, 10, 2e-6, 49, 8)
+        model.spice_crosscheck([point], cache=cache)
+        model.spice_crosscheck([point], cache=cache)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1

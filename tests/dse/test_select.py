@@ -83,3 +83,16 @@ class TestSelection:
         assert e.f_sample >= req.f_sample_min
         assert e.mean_current <= req.current_max
         assert e.nvm_bytes <= req.nvm_max_bytes
+
+    def test_spice_validation_attaches_crosscheck(self, model):
+        req = Requirements(granularity_max=0.050, f_sample_min=1e3)
+        plain = select_config(TECH_90NM, req, model=model)
+        assert plain.spice_check is None
+        validated = select_config(TECH_90NM, req, model=model, spice_validate=True)
+        check = validated.spice_check
+        assert check is not None
+        assert check["ro_length"] == validated.evaluation.point.ro_length
+        assert check["oscillates"] is True
+        assert len(check["f_spice"]) == len(check["voltages"]) == 3
+        # Same point chosen either way: validation is a rider, not a filter.
+        assert validated.evaluation.point == plain.evaluation.point

@@ -1,0 +1,166 @@
+"""Adaptive time-stepping and early exit in the transient solver."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    GROUND,
+    Resistor,
+    VoltageSource,
+    transient,
+)
+from repro.spice import solver
+from repro.spice.charlib import PeriodProbe
+import repro.obs as obs
+
+
+def rc_circuit(v=1.0, r=1e3, c=1e-6):
+    circuit = Circuit("rc-adaptive")
+    circuit.add(VoltageSource("V1", "in", GROUND, v))
+    circuit.add(Resistor("R", "in", "out", r))
+    circuit.add(Capacitor("C", "out", GROUND, c))
+    return circuit
+
+
+class TestAdaptiveStepping:
+    def test_rc_curve_accuracy(self):
+        # tau = 1 ms; adaptive run from dt = tau/100 must still land the
+        # 5-tau endpoint within backward-Euler accuracy.
+        res = transient(
+            rc_circuit(), t_stop=5e-3, dt=1e-5,
+            initial={"in": 1.0, "out": 0.0}, adaptive=True,
+        )
+        assert res.node("out").final() == pytest.approx(1 - math.exp(-5), abs=0.05)
+        assert res.rejected_steps == 0
+
+    def test_uses_fewer_steps_than_fixed(self):
+        fixed = transient(
+            rc_circuit(), t_stop=5e-3, dt=1e-5, initial={"in": 1.0, "out": 0.0}
+        )
+        adaptive = transient(
+            rc_circuit(), t_stop=5e-3, dt=1e-5,
+            initial={"in": 1.0, "out": 0.0}, adaptive=True,
+        )
+        # Easy solves grow dt toward dt_max = 8*dt, so the adaptive run
+        # takes a small fraction of the fixed step count.
+        assert len(adaptive.node("out").times) < 0.3 * len(fixed.node("out").times)
+
+    def test_lands_exactly_on_t_stop(self):
+        res = transient(
+            rc_circuit(), t_stop=5e-3, dt=1e-5,
+            initial={"in": 1.0, "out": 0.0}, adaptive=True,
+        )
+        assert res.node("out").times[-1] == pytest.approx(5e-3, rel=1e-9)
+
+    def test_invalid_dt_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            transient(
+                rc_circuit(), t_stop=1e-3, dt=1e-5,
+                initial={"in": 1.0, "out": 0.0},
+                adaptive=True, dt_min=1e-4,  # dt_min > dt
+            )
+
+
+class TestStepRejection:
+    def _flaky_newton(self, monkeypatch, fail_calls):
+        real = solver._newton
+        calls = {"n": 0}
+
+        def flaky(circuit, nodes, x0, max_iter=solver.MAX_ITERATIONS):
+            calls["n"] += 1
+            if calls["n"] in fail_calls:
+                return solver.NewtonOutcome(None, 9, 4.5e-2)
+            return real(circuit, nodes, x0, max_iter)
+
+        monkeypatch.setattr(solver, "_newton", flaky)
+
+    def test_rejected_step_retries_smaller_not_from_zeros(self, monkeypatch):
+        self._flaky_newton(monkeypatch, {2})
+        res = transient(
+            rc_circuit(), t_stop=1e-3, dt=1e-5,
+            initial={"in": 1.0, "out": 0.0}, adaptive=True,
+        )
+        assert res.rejected_steps == 1
+        assert res.restarts == []  # rejection is not a restart
+        # The trajectory is still monotone RC charging: no flat-restart
+        # discontinuity anywhere.
+        values = res.node("out").values
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_rejection_counted_in_metrics(self, monkeypatch):
+        self._flaky_newton(monkeypatch, {2})
+        obs.configure(metrics=True)
+        try:
+            transient(
+                rc_circuit(), t_stop=1e-3, dt=1e-5,
+                initial={"in": 1.0, "out": 0.0}, adaptive=True,
+            )
+            assert obs.OBS.metrics.counter("spice.rejected_steps") == 1
+        finally:
+            obs.reset()
+
+    def test_failure_at_dt_min_raises(self, monkeypatch):
+        self._flaky_newton(monkeypatch, set(range(2, 100)))
+        with pytest.raises(ConvergenceError) as excinfo:
+            transient(
+                rc_circuit(), t_stop=1e-3, dt=1e-5,
+                initial={"in": 1.0, "out": 0.0}, adaptive=True,
+            )
+        assert "minimum dt" in str(excinfo.value)
+
+
+class TestEarlyExit:
+    def test_until_stops_fixed_run(self):
+        res = transient(
+            rc_circuit(), t_stop=5e-3, dt=1e-5,
+            initial={"in": 1.0, "out": 0.0},
+            until=lambda t, volts: volts["out"] >= 0.5,
+        )
+        assert res.node("out").final() == pytest.approx(0.5, abs=0.02)
+        assert res.node("out").times[-1] < 1e-3  # ~0.69 tau, far short of 5 tau
+
+    def test_until_stops_adaptive_run(self):
+        res = transient(
+            rc_circuit(), t_stop=5e-3, dt=1e-5,
+            initial={"in": 1.0, "out": 0.0}, adaptive=True,
+            until=lambda t, volts: t >= 1e-3,
+        )
+        assert res.node("out").times[-1] < 1.2e-3
+
+    def test_period_probe_converges_on_ring(self):
+        from repro.analog.ring_oscillator import (
+            build_ro_circuit,
+            staggered_initial_condition,
+        )
+        from repro.tech import TECH_90NM
+        from repro.analog import RingOscillator
+
+        vdd, n = 1.0, 5
+        guess = RingOscillator(TECH_90NM, n).period(vdd)
+        circuit = build_ro_circuit(TECH_90NM, n, vdd)
+        probe = PeriodProbe("s0", vdd / 2, rtol=5e-3)
+        res = transient(
+            circuit, t_stop=30 * guess, dt=guess / 64,
+            initial=staggered_initial_condition(n, vdd), until=probe,
+        )
+        assert probe.converged
+        # Early exit cut the horizon well short of the 30-period bound.
+        assert res.node("s0").times[-1] < 15 * guess
+        # And the frequency it measured is still the settled one.
+        full = transient(
+            build_ro_circuit(TECH_90NM, n, vdd), t_stop=30 * guess, dt=guess / 64,
+            initial=staggered_initial_condition(n, vdd),
+        )
+        f_early = res.node("s0").frequency(vdd / 2)
+        f_full = full.node("s0").frequency(vdd / 2)
+        assert f_early == pytest.approx(f_full, rel=0.02)
+
+    def test_period_probe_validates_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PeriodProbe("s0", 0.5, rtol=0.0)
+        with pytest.raises(ConfigurationError):
+            PeriodProbe("s0", 0.5, window=1)

@@ -138,6 +138,123 @@ class TestSourceStepping:
         dc_operating_point(c)
         assert source.voltage == 3.0
 
+    def test_interleaved_solve_never_sees_scaled_sources(self, monkeypatch):
+        """Source stepping must not write the shared VoltageSource: a
+        second solve on the same circuit object, interleaved mid-ramp,
+        has to read the full source value and converge to the true
+        operating point."""
+        c = resistor_divider(v=3.0)
+        source = c.device("V1")
+        real = solver._newton
+        state = {"calls": 0, "inner_mid": None, "voltages_seen": []}
+
+        def flaky(circuit, nodes, x0, max_iter=solver.MAX_ITERATIONS):
+            state["calls"] += 1
+            if state["calls"] == 1:
+                # Fail the plain attempt so stepping engages.
+                return solver.NewtonOutcome(None, 5, 1.0)
+            state["voltages_seen"].append(source.voltage)
+            mid_ramp = (
+                isinstance(circuit, solver._System) and circuit.vsrc_scale < 1.0
+            )
+            if mid_ramp and state["inner_mid"] is None:
+                monkeypatch.setattr(solver, "_newton", real)
+                try:
+                    state["inner_mid"] = dc_operating_point(c)["mid"]
+                finally:
+                    monkeypatch.setattr(solver, "_newton", flaky)
+            return real(circuit, nodes, x0, max_iter)
+
+        monkeypatch.setattr(solver, "_newton", flaky)
+        op = dc_operating_point(c)
+        assert op["mid"] == pytest.approx(2.0, abs=1e-3)
+        assert state["inner_mid"] == pytest.approx(2.0, abs=1e-3)
+        # The device object itself was never ramped.
+        assert state["voltages_seen"] and all(v == 3.0 for v in state["voltages_seen"])
+
+    def test_fd_mode_stepping_matches_stamp_mode(self, monkeypatch):
+        real = solver._newton
+        calls = {"n": 0}
+
+        def flaky(circuit, nodes, x0, max_iter=solver.MAX_ITERATIONS):
+            calls["n"] += 1
+            if calls["n"] in (1, 8):  # first plain attempt of each solve
+                return solver.NewtonOutcome(None, 5, 1.0)
+            return real(circuit, nodes, x0, max_iter)
+
+        monkeypatch.setattr(solver, "_newton", flaky)
+        c = resistor_divider(v=3.0)
+        via_stamp = dc_operating_point(c, jacobian="stamp")
+        via_fd = dc_operating_point(c, jacobian="fd")
+        assert via_fd["mid"] == pytest.approx(via_stamp["mid"], abs=1e-9)
+
+
+class TestVoltageMapSharing:
+    """One node-voltage map per accepted step, shared by every consumer."""
+
+    def test_probes_and_on_step_share_one_map(self):
+        c = resistor_divider()
+        c.add(Capacitor("C", "mid", GROUND, 1e-9))
+        per_call: list = []  # holds real references, so ids never recycle
+
+        def probe_a(volts):
+            per_call.append(("a", volts))
+            return volts["mid"]
+
+        def probe_b(volts):
+            per_call.append(("b", volts))
+            return volts["vdd"]
+
+        def on_step(t, volts):
+            per_call.append(("s", volts))
+
+        res = transient(
+            c, t_stop=5e-5, dt=1e-5,
+            probes={"a": probe_a, "b": probe_b}, on_step=on_step,
+        )
+        records = len(res.node("mid").times)  # t=0 plus accepted steps
+        distinct = {id(v) for _tag, v in per_call}
+        # t=0 calls both probes on one map; each step calls a, b, s on one.
+        assert len(distinct) == records
+        by_id: dict = {}
+        for tag, volts in per_call:
+            by_id.setdefault(id(volts), []).append(tag)
+        assert all(tags in (["a", "b"], ["a", "b", "s"]) for tags in by_id.values())
+
+
+class TestJacobianModes:
+    def test_unknown_mode_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            dc_operating_point(resistor_divider(), jacobian="symbolic")
+
+    def test_dc_fd_matches_stamp_on_mosfet_stack(self):
+        c = Circuit()
+        c.add(VoltageSource("V1", "vdd", GROUND, 3.0))
+        c.add(DiodeConnectedMOSFET("M1", "vdd", "n2", TECH_90NM))
+        c.add(DiodeConnectedMOSFET("M2", "n2", "n1", TECH_90NM))
+        c.add(DiodeConnectedMOSFET("M3", "n1", GROUND, TECH_90NM))
+        fast = dc_operating_point(c, jacobian="stamp")
+        slow = dc_operating_point(c, jacobian="fd")
+        for node in ("n1", "n2"):
+            assert fast[node] == pytest.approx(slow[node], abs=1e-8)
+
+    def test_transient_fd_matches_stamp(self):
+        def rc():
+            c = Circuit("rc")
+            c.add(VoltageSource("V1", "in", GROUND, 1.0))
+            c.add(Resistor("R", "in", "out", 1e3))
+            c.add(Capacitor("C", "out", GROUND, 1e-6))
+            return c
+
+        fast = transient(rc(), t_stop=1e-3, dt=2e-5, initial={"in": 1.0, "out": 0.0})
+        slow = transient(
+            rc(), t_stop=1e-3, dt=2e-5, initial={"in": 1.0, "out": 0.0}, jacobian="fd"
+        )
+        for a, b in zip(fast.node("out").values, slow.node("out").values):
+            assert a == pytest.approx(b, abs=1e-9)
+
 
 class TestTransientRestartSurfaced:
     """A failed transient step that recovers from a flat restart used to

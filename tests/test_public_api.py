@@ -73,3 +73,82 @@ def test_workload_registry_consistent():
         assert workload.name == name
         assert workload.approx_instructions > 0
         assert callable(workload.reference)
+
+
+class TestSolverSignatureStability:
+    """The fast-path rework must not move the public solver entry
+    points: positional call shapes from pre-1.2 code keep working, and
+    the new knobs are keyword-only."""
+
+    def test_dc_operating_point_signature(self):
+        import inspect
+
+        from repro.spice import dc_operating_point
+
+        params = inspect.signature(dc_operating_point).parameters
+        assert list(params)[:2] == ["circuit", "initial"]
+        assert params["initial"].default is None
+        assert params["jacobian"].kind is inspect.Parameter.KEYWORD_ONLY
+        assert params["jacobian"].default == "stamp"
+
+    def test_transient_signature(self):
+        import inspect
+
+        from repro.spice import transient
+
+        params = inspect.signature(transient).parameters
+        assert list(params)[:6] == [
+            "circuit", "t_stop", "dt", "probes", "initial", "on_step",
+        ]
+        for new in ("jacobian", "adaptive", "dt_min", "dt_max", "until"):
+            assert params[new].kind is inspect.Parameter.KEYWORD_ONLY
+        assert params["adaptive"].default is False
+
+    def test_newton_internal_shim_signature(self):
+        # tests and downstream instrumentation monkeypatch/wrap
+        # solver._newton; its calling convention is load-bearing.
+        import inspect
+
+        from repro.spice import solver
+
+        params = inspect.signature(solver._newton).parameters
+        assert list(params) == ["circuit", "nodes", "x0", "max_iter"]
+
+    def test_legacy_positional_calls_still_work(self):
+        from repro.spice import (
+            Capacitor, Circuit, GROUND, Resistor, VoltageSource,
+            dc_operating_point, transient,
+        )
+
+        c = Circuit()
+        c.add(VoltageSource("V1", "in", GROUND, 1.0))
+        c.add(Resistor("R", "in", "out", 1e3))
+        c.add(Capacitor("C", "out", GROUND, 1e-9))
+        op = dc_operating_point(c, {"in": 1.0})
+        transient(c, 1e-6, 1e-7, None, {"in": 1.0, "out": 0.0}, None)
+        assert op["out"] > 0.99
+
+
+class TestCharlibSurface:
+    def test_api_exports_characterization(self):
+        import repro.api as api
+
+        for name in (
+            "characterize_many", "RingSweep", "DividerSweep",
+            "SweepResult", "CharacterizationCache", "CHARLIB_RTOL",
+        ):
+            assert hasattr(api, name)
+
+    def test_spice_package_lazy_exports(self):
+        import repro.spice as spice
+
+        assert callable(spice.characterize_many)
+        assert spice.charlib.SCHEMA_VERSION >= 1
+        with pytest.raises(AttributeError):
+            spice.not_a_real_name
+
+    def test_top_level_lazy_exports(self):
+        import repro
+
+        assert callable(repro.characterize_many)
+        assert repro.RingSweep is repro.api.RingSweep
