@@ -49,6 +49,6 @@ def test_calibration_cache_speedup():
 
 def test_parallel_matches_serial():
     fleet = synthesize_fleet(16, seed=22, duration=60.0)
-    serial = FleetRunner(fleet, jobs=1).run()
-    parallel = FleetRunner(fleet, jobs=2).run()
+    serial = FleetRunner(fleet, parallel=1).run()
+    parallel = FleetRunner(fleet, parallel=2).run()
     assert serial.report.render() == parallel.report.render()

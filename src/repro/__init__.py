@@ -36,7 +36,7 @@ from repro.tech import TECH_130NM, TECH_90NM, TECH_65NM, ALL_NODES, get_technolo
 from repro.analog import RingOscillator, VoltageDivider, LevelShifter, SARADC, AnalogComparator
 from repro.errors import ReproError
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Names forwarded lazily from :mod:`repro.api` (PEP 562): the facade
 #: pulls in the harvest/dse/fleet/batch stack, which a bare
@@ -57,6 +57,8 @@ _API_EXPORTS = (
     "characterize_many",
     "RingSweep",
     "DividerSweep",
+    "run_tasks",
+    "TaskError",
 )
 
 __all__ = [

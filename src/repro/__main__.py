@@ -5,7 +5,8 @@ Subcommands:
 * ``info`` (default) — library overview and subsystem inventory;
 * ``experiments [names...]`` — regenerate paper tables/figures
   (delegates to :mod:`repro.experiments.runner`); ``--list`` prints the
-  available experiment ids;
+  available experiment ids and ``--jobs N`` fans independent
+  experiments out across ``N`` worker processes;
 * ``monitor [--tech N] [--voltage V]`` — build the default monitor and
   print a one-shot reading with its error budget;
 * ``fleet [--devices N] [--jobs J]`` — simulate a heterogeneous device
@@ -68,7 +69,7 @@ def cmd_experiments(args) -> None:
         for name in EXPERIMENTS:
             print(f"  {name}", file=sys.stderr)
         raise SystemExit(2)
-    run_all(args.names or None, json_path=args.json)
+    run_all(args.names or None, json_path=args.json, parallel=args.jobs)
 
 
 #: Reduced factorial grid for the CLI's deployment-plan preview: a
@@ -121,7 +122,7 @@ def cmd_fleet(args) -> None:
     )
     cache = CalibrationCache(enabled=not args.no_cache, cache_dir=args.cache_dir)
     runner = FleetRunner(
-        fleet, jobs=args.jobs, cache=cache, eval_engine=args.eval_engine
+        fleet, parallel=args.jobs, cache=cache, eval_engine=args.eval_engine
     )
     result = runner.run()
     print(result.report.render())
@@ -178,6 +179,8 @@ def main(argv=None) -> None:
     exp.add_argument("--list", action="store_true", help="print available experiment ids")
     exp.add_argument("--json", metavar="PATH", default=None,
                      help="also write the results as a JSON list to PATH")
+    exp.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="run independent experiments across N worker processes")
     mon = sub.add_parser("monitor", help="one-shot monitor demo", parents=[obs_parent])
     mon.add_argument("--tech", default="90nm", choices=["130nm", "90nm", "65nm"])
     mon.add_argument("--voltage", type=float, default=2.7)

@@ -13,6 +13,9 @@ semantics guaranteed across 1.x releases (see ``docs/api.md``):
   :class:`DividerSweep` + :func:`characterize_many`, the cached SPICE
   sweep front door (:mod:`repro.spice.charlib`);
 * **fleets** — :func:`run_fleet` / :class:`FleetRunner`;
+* **parallel execution** — :func:`run_tasks` / :class:`TaskError`, the
+  one fan-out backbone every bulk entry point's ``parallel=`` kwarg
+  routes through (:mod:`repro.exec`);
 * **design-space exploration** — :func:`explore_grid` and
   :func:`nsga2` over a :class:`PerformanceModel`;
 * **the paper's evaluation** — :func:`run_experiments`.
@@ -40,6 +43,8 @@ from repro.dse.nsga2 import NSGA2, NSGA2Result
 from repro.dse.objectives import Evaluation, PerformanceModel
 from repro.dse.space import DesignPoint, DesignSpace
 from repro.errors import SimulationError
+from repro.exec import BACKEND_ENV as EXEC_BACKEND_ENV
+from repro.exec import TaskError, run_tasks
 from repro.fleet.report import DeviceResult, FleetReport
 from repro.fleet.runner import FleetRunner, FleetRunResult, run_fleet
 from repro.fleet.spec import DeviceSpec, FleetSpec, synthesize_fleet
@@ -119,17 +124,22 @@ def nsga2(model_or_space, **kwargs) -> NSGA2Result:
     return NSGA2(model=model, **kwargs).run()
 
 
-def run_experiments(names: Optional[List[str]] = None, json_path: Optional[str] = None):
+def run_experiments(
+    names: Optional[List[str]] = None,
+    json_path: Optional[str] = None,
+    parallel: Optional[int] = None,
+):
     """Regenerate the paper's tables/figures (default: all of them).
 
     Imports the experiment drivers lazily — they pull in every
     subsystem, which ``import repro.api`` alone should not pay for.
     With ``json_path``, the results are also written as a JSON list of
-    ``ExperimentResult.to_dict()`` payloads.
+    ``ExperimentResult.to_dict()`` payloads.  ``parallel=N`` runs
+    independent experiments across ``N`` worker processes.
     """
     from repro.experiments.runner import run_all
 
-    return run_all(names, json_path=json_path)
+    return run_all(names, json_path=json_path, parallel=parallel)
 
 
 __all__ = [
@@ -144,6 +154,9 @@ __all__ = [
     "characterize_many",
     "DesignPoint",
     "DesignSpace",
+    "EXEC_BACKEND_ENV",
+    "TaskError",
+    "run_tasks",
     "DeviceResult",
     "DeviceSpec",
     "Evaluation",

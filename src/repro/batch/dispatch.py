@@ -18,17 +18,18 @@ Engine-selection rules (documented in ``docs/api.md``):
   in input order regardless of how the work was split.
 
 ``parallel=k`` additionally shards the scenario list over ``k`` worker
-processes (contiguous chunks, order-preserving); each worker applies
-the same engine rules to its chunk.
+processes through :func:`repro.exec.run_tasks` (one contiguous chunk
+per worker, order-preserving stitching, worker metrics merged back);
+each worker applies the same engine rules to its chunk.
 """
 
 from __future__ import annotations
 
-import math
-from concurrent.futures import ProcessPoolExecutor
+import functools
 from typing import List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.exec import resolve_workers, run_tasks
 from repro.obs import OBS
 from repro.batch.scenario import Scenario
 
@@ -68,9 +69,9 @@ def resolve_engine(scenarios: Sequence[Scenario], engine: str = "auto") -> str:
     return "scalar"
 
 
-def _evaluate_chunk(payload):
-    """Top-level worker so ``parallel=`` fan-out can pickle it."""
-    scenarios, engine = payload
+def _evaluate_chunk(scenarios, engine="auto"):
+    """Chunk worker for the ``parallel=`` fan-out (runs under
+    :func:`repro.exec.run_tasks`; top-level so it pickles)."""
     return evaluate_many(scenarios, engine=engine)
 
 
@@ -106,15 +107,18 @@ def evaluate_many(
         return []
 
     if parallel is not None and parallel > 1 and len(items) > 1:
-        jobs = min(parallel, len(items))
-        size = math.ceil(len(items) / jobs)
-        chunks = [items[i : i + size] for i in range(0, len(items), size)]
+        jobs = resolve_workers(parallel, len(items))
         with OBS.tracer.span(
             "batch.evaluate_many", scenarios=len(items), engine=engine, parallel=jobs
         ):
-            with ProcessPoolExecutor(max_workers=jobs) as executor:
-                parts = list(executor.map(_evaluate_chunk, [(c, engine) for c in chunks]))
-        return [report for part in parts for report in part]
+            return run_tasks(
+                functools.partial(_evaluate_chunk, engine=engine),
+                items,
+                parallel=parallel,
+                chunked=True,
+                chunk="even",
+                label="batch.evaluate_many",
+            )
 
     resolved = resolve_engine(items, engine)
     if resolved == "scalar":

@@ -63,6 +63,12 @@ class SimulationError(ReproError):
     """The system-level intermittent simulation hit an invalid state."""
 
 
+class ExecError(ReproError):
+    """The parallel execution backbone (:mod:`repro.exec`) failed: a
+    chunked worker broke its one-result-per-item contract, or a captured
+    worker exception could not be transported back for re-raising."""
+
+
 class CPUError(ReproError):
     """The RISC-V instruction-set simulator hit an invalid state."""
 

@@ -2,17 +2,23 @@
 
     python -m repro.experiments.runner           # all experiments
     python -m repro.experiments.runner fig8      # one experiment
+    python -m repro.experiments.runner --jobs 4  # across 4 processes
 
 Each experiment prints its regenerated rows plus notes comparing them
-to the paper's reported values.
+to the paper's reported values.  Experiments are independent, so
+``--jobs N`` (``run_all(parallel=N)``) fans them out across worker
+processes through :func:`repro.exec.run_tasks`; output stays in
+canonical (paper) order either way.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
+from repro.exec import run_tasks
 from repro.experiments import ExperimentResult
 from repro.obs import OBS
 from repro.experiments import (
@@ -66,7 +72,25 @@ def available_experiments() -> List[str]:
     return list(EXPERIMENTS)
 
 
-def run_all(names: List[str] = None, json_path: str = None) -> List[ExperimentResult]:
+def _run_one(name: str):
+    """Run one experiment; picklable, so it works as an exec worker.
+
+    Returns ``(result, elapsed)``: the timing is measured inside the
+    worker with ``time.perf_counter`` so parallel runs report each
+    experiment's own compute time, not the fan-out's wall time.
+    """
+    with OBS.tracer.span("experiments.run", experiment=name):
+        start = time.perf_counter()
+        result = EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def run_all(
+    names: List[str] = None,
+    json_path: str = None,
+    parallel: Optional[int] = None,
+) -> List[ExperimentResult]:
     """Run the selected (default: all) experiments, printing as we go.
 
     Unknown names print the available ids to stderr and exit non-zero
@@ -75,6 +99,11 @@ def run_all(names: List[str] = None, json_path: str = None) -> List[ExperimentRe
     ``json_path`` additionally writes the results as a JSON list of
     :meth:`~repro.experiments.tables.ExperimentResult.to_dict` payloads
     (the machine-readable sibling of the printed tables).
+
+    ``parallel=N`` fans the (independent) experiments out across ``N``
+    worker processes via :func:`repro.exec.run_tasks`; results print in
+    canonical order regardless, and serial/parallel runs produce
+    identical result payloads.
 
     Timings use ``time.perf_counter`` (monotonic): wall-clock
     ``time.time`` can step backwards under NTP adjustment and used to
@@ -95,17 +124,25 @@ def run_all(names: List[str] = None, json_path: str = None) -> List[ExperimentRe
         raise SystemExit(2)
     results = []
     timings: List[tuple] = []
-    for name in chosen:
-        with OBS.tracer.span("experiments.run", experiment=name):
-            start = time.perf_counter()
-            result = EXPERIMENTS[name]()
-            elapsed = time.perf_counter() - start
+
+    def _emit(index, outcome):
+        # Runs in the parent, in canonical order, as results stitch in.
+        result, elapsed = outcome
+        name = chosen[index]
         OBS.metrics.observe("experiments.seconds", elapsed)
         OBS.metrics.gauge(f"experiments.{name}.seconds", elapsed)
         print(result.render())
         print(f"({name} regenerated in {elapsed:.1f}s)\n")
         results.append(result)
         timings.append((name, elapsed))
+
+    run_tasks(
+        _run_one,
+        chosen,
+        parallel=parallel,
+        label="experiments.run_all",
+        on_result=_emit,
+    )
     if len(timings) > 1:
         print(render_timing_summary(timings))
     if json_path:
@@ -128,8 +165,18 @@ def render_timing_summary(timings: List[tuple]) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
-    run_all(sys.argv[1:] or None)
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("names", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run independent experiments across N worker processes",
+    )
+    args = parser.parse_args(argv)
+    run_all(args.names or None, parallel=args.jobs)
 
 
 if __name__ == "__main__":

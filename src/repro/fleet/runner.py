@@ -6,27 +6,30 @@
 1. resolve every unique calibration key through the shared
    :class:`~repro.fleet.cache.CalibrationCache` *in the parent process*
    (devices sharing a tech node + monitor design enroll exactly once);
-2. fan the per-device work out over a ``ProcessPoolExecutor`` when
-   ``jobs > 1``, or run the same code path serially when ``jobs <= 1``
-   (the deterministic mode tests use);
+2. fan the per-device work out through the
+   :mod:`repro.exec` backbone when ``parallel > 1``, or run the same
+   code path serially when ``parallel <= 1`` (the deterministic mode
+   tests use) — either way :func:`repro.exec.run_tasks` owns chunking,
+   worker-count resolution, and worker metrics merging;
 3. aggregate results in device-id order, so serial and parallel runs
    produce byte-identical reports.
 
-The worker function is module-level and its payload is all frozen
+The worker functions are module-level and their payloads are all frozen
 dataclasses of primitives, which is what makes the fan-out picklable.
 """
 
 from __future__ import annotations
 
+import functools
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.batch import ENGINES as EVAL_ENGINES
 from repro.batch import Scenario, evaluate_many
 from repro.errors import ConfigurationError
+from repro.exec import run_tasks
 from repro.fleet.cache import CalibrationCache, CalibrationRecord
 from repro.fleet.report import DeviceResult, FleetReport
 from repro.fleet.spec import DeviceSpec, FleetSpec
@@ -34,8 +37,7 @@ from repro.harvest.fast import FastIntermittentSimulator
 from repro.harvest.monitors import MonitorModel
 from repro.harvest.panel import SolarPanel
 from repro.harvest.simulator import IntermittentSimulator
-from repro.obs import OBS, Metrics, ObsSpec, configure_from_spec
-from repro.obs import spec as obs_spec
+from repro.obs import OBS
 
 _ENGINES = {
     "fast": FastIntermittentSimulator,
@@ -110,50 +112,41 @@ def simulate_devices(
     ]
 
 
-def _simulate_chunk(payload) -> List[DeviceResult]:
-    """Picklable chunk worker for the parallel batch path."""
-    work, engine = payload
+def _simulate_chunk(work, engine: str = "auto") -> List[DeviceResult]:
+    """Chunk worker for the parallel batch path (runs under
+    :func:`repro.exec.run_tasks`; top-level so it pickles)."""
     return simulate_devices(work, engine=engine)
 
 
-def _simulate_device_obs(
-    work: Tuple[DeviceSpec, MonitorModel, ObsSpec]
-) -> Tuple[DeviceResult, dict]:
+def _simulate_device_obs(work: Tuple[DeviceSpec, MonitorModel]) -> DeviceResult:
     """Observability-aware worker: same simulation, plus telemetry.
 
-    Configures obs in the worker (idempotent, so the serial path and
-    fork-started workers pay nothing), swaps in a *task-local* Metrics
-    so the returned snapshot covers exactly this device — the parent
-    merges snapshots, which keeps counter aggregation double-count-free
-    regardless of how the executor schedules or reuses workers.
+    Runs under :func:`repro.exec.run_tasks`, which re-arms tracing and
+    metrics inside the worker and merges the task-local metrics snapshot
+    back into the parent — the span and counters here are never dropped,
+    and aggregation stays double-count-free regardless of how the
+    executor schedules or reuses workers.
     """
-    device, monitor, spec = work
-    configure_from_spec(spec)
-    task_metrics = Metrics(enabled=spec.metrics_enabled)
-    saved = OBS.metrics
-    OBS.metrics = task_metrics
-    try:
-        start = time.perf_counter()
-        with OBS.tracer.span(
-            "fleet.device",
-            device=device.device_id,
-            engine=device.engine,
-            policy=device.policy,
-        ):
-            result = _simulate_device((device, monitor))
-        task_metrics.incr("fleet.devices")
-        task_metrics.observe("fleet.device_seconds", time.perf_counter() - start)
-        return result, task_metrics.snapshot()
-    finally:
-        OBS.metrics = saved
+    device, monitor = work
+    start = time.perf_counter()
+    with OBS.tracer.span(
+        "fleet.device",
+        device=device.device_id,
+        engine=device.engine,
+        policy=device.policy,
+    ):
+        result = _simulate_device((device, monitor))
+    OBS.metrics.incr("fleet.devices")
+    OBS.metrics.observe("fleet.device_seconds", time.perf_counter() - start)
+    return result
 
 
 @dataclass
 class FleetRunResult:
     """A finished run: the aggregate report plus execution metadata.
 
-    Metadata (wall time, job count, cache stats) lives here rather than
-    on the report so that ``report.render()`` stays byte-identical
+    Metadata (wall time, worker count, cache stats) lives here rather
+    than on the report so that ``report.render()`` stays byte-identical
     between serial and parallel executions of the same fleet.
     """
 
@@ -163,6 +156,34 @@ class FleetRunResult:
     cache_entries: int
     cache_summary: str
 
+    @property
+    def parallel(self) -> int:
+        """The requested worker count (alias of the ``jobs`` field)."""
+        return self.jobs
+
+
+def _resolve_parallel_kwarg(
+    parallel: Optional[int], jobs: Optional[int], where: str
+) -> int:
+    """The ``jobs=`` -> ``parallel=`` deprecation shim (one release),
+    matching the v1.1.0 ``repro.api`` shim pattern."""
+    if jobs is not None:
+        warnings.warn(
+            f"{where}(jobs=...) is deprecated; use parallel=...",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if parallel is not None and parallel != jobs:
+            raise ConfigurationError(
+                f"conflicting worker counts: parallel={parallel}, jobs={jobs}"
+            )
+        parallel = jobs
+    if parallel is None:
+        parallel = 1
+    if parallel < 1:
+        raise ConfigurationError("parallel must be >= 1")
+    return parallel
+
 
 class FleetRunner:
     """Execute a fleet, serially or across worker processes."""
@@ -170,20 +191,24 @@ class FleetRunner:
     def __init__(
         self,
         fleet: FleetSpec,
-        jobs: int = 1,
+        parallel: Optional[int] = None,
         cache: Optional[CalibrationCache] = None,
         eval_engine: str = "auto",
+        jobs: Optional[int] = None,
     ):
-        if jobs < 1:
-            raise ConfigurationError("jobs must be >= 1")
         if eval_engine not in EVAL_ENGINES:
             raise ConfigurationError(
                 f"unknown eval engine {eval_engine!r}; choose from {EVAL_ENGINES}"
             )
         self.fleet = fleet
-        self.jobs = jobs
+        self.parallel = _resolve_parallel_kwarg(parallel, jobs, "FleetRunner")
         self.cache = cache if cache is not None else CalibrationCache()
         self.eval_engine = eval_engine
+
+    @property
+    def jobs(self) -> int:
+        """Deprecated alias of :attr:`parallel` (kept for one release)."""
+        return self.parallel
 
     # ------------------------------------------------------------------
     def resolve_calibrations(self) -> Dict[Tuple, CalibrationRecord]:
@@ -221,15 +246,10 @@ class FleetRunner:
             "fleet.run",
             fleet=self.fleet.name,
             devices=len(self.fleet.devices),
-            jobs=self.jobs,
+            parallel=self.parallel,
         ) as span:
             work = self._work_items()
-            spec = obs_spec()
-            payload = [(device, monitor, spec) for device, monitor in work]
-            outcomes = self._execute(_simulate_device_obs, payload)
-            results = [result for result, _snapshot in outcomes]
-            for _result, snapshot in outcomes:
-                OBS.metrics.merge(snapshot)
+            results = self._execute(_simulate_device_obs, work)
             run_result = self._finish(results, start)
             span.set(
                 elapsed=run_result.elapsed,
@@ -243,26 +263,34 @@ class FleetRunner:
         return run_result
 
     def _execute(self, worker, work: List) -> List:
-        if self.jobs <= 1 or len(work) <= 1:
-            return [worker(item) for item in work]
-        chunksize = max(1, len(work) // (4 * self.jobs))
-        with ProcessPoolExecutor(max_workers=self.jobs) as executor:
-            return list(executor.map(worker, work, chunksize=chunksize))
+        # Scalar per-device path: many small chunks (a quarter of an
+        # even split per worker) so the pool load-balances ragged
+        # device runtimes; the backbone preserves result order and
+        # merges each chunk's metrics snapshot.
+        if self.parallel <= 1 or len(work) <= 1:
+            chunk: object = "even"
+        else:
+            chunk = max(1, len(work) // (4 * self.parallel))
+        return run_tasks(
+            worker,
+            work,
+            parallel=self.parallel,
+            chunk=chunk,
+            label="fleet.devices",
+        )
 
     def _execute_batched(self, work: List) -> List[DeviceResult]:
-        if self.jobs <= 1 or len(work) <= 1:
-            return simulate_devices(work, engine=self.eval_engine)
         # One contiguous chunk per worker (not the scalar path's small
-        # chunksize): the kernel's throughput grows with lane count, so
+        # chunks): the kernel's throughput grows with lane count, so
         # each worker should see the biggest batch load-balancing allows.
-        jobs = min(self.jobs, len(work))
-        size = -(-len(work) // jobs)
-        chunks = [work[i : i + size] for i in range(0, len(work), size)]
-        with ProcessPoolExecutor(max_workers=jobs) as executor:
-            parts = list(
-                executor.map(_simulate_chunk, [(c, self.eval_engine) for c in chunks])
-            )
-        return [result for part in parts for result in part]
+        return run_tasks(
+            functools.partial(_simulate_chunk, engine=self.eval_engine),
+            work,
+            parallel=self.parallel,
+            chunked=True,
+            chunk="even",
+            label="fleet.batched",
+        )
 
     def _finish(self, results: List[DeviceResult], start: float) -> FleetRunResult:
         report = FleetReport(fleet_name=self.fleet.name, results=results)
@@ -270,7 +298,7 @@ class FleetRunner:
         return FleetRunResult(
             report=report,
             elapsed=elapsed,
-            jobs=self.jobs,
+            jobs=self.parallel,
             cache_entries=len(self.cache),
             cache_summary=self.cache.stats.summary(),
         )
@@ -278,9 +306,14 @@ class FleetRunner:
 
 def run_fleet(
     fleet: FleetSpec,
-    jobs: int = 1,
+    parallel: Optional[int] = None,
     cache: Optional[CalibrationCache] = None,
     eval_engine: str = "auto",
+    jobs: Optional[int] = None,
 ) -> FleetRunResult:
-    """Convenience wrapper: build a runner and run it."""
-    return FleetRunner(fleet, jobs=jobs, cache=cache, eval_engine=eval_engine).run()
+    """Convenience wrapper: build a runner and run it.
+
+    ``jobs=`` is a deprecated alias of ``parallel=`` (one release)."""
+    return FleetRunner(
+        fleet, parallel=parallel, cache=cache, eval_engine=eval_engine, jobs=jobs
+    ).run()

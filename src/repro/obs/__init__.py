@@ -17,10 +17,11 @@ asserts the disabled overhead stays under 2% on the fleet experiment).
 
 Worker processes: :func:`spec` captures the current configuration as a
 small frozen :class:`ObsSpec`; :func:`configure_from_spec` applies it
-inside a ``ProcessPoolExecutor`` worker (idempotent, so calling it per
-work item is fine).  Worker metrics travel back as
+inside a worker process (idempotent, so calling it per work item is
+fine).  Worker metrics travel back as
 :meth:`~repro.obs.metrics.Metrics.snapshot` dicts and merge in the
-parent — see :mod:`repro.fleet.runner`.
+parent.  The :mod:`repro.exec` backbone does both automatically for
+every fan-out in the library.
 """
 
 from __future__ import annotations

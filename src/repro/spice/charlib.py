@@ -22,9 +22,9 @@ disk cache, or pass ``cache=CharacterizationCache(enabled=False)`` to
 force cold runs.
 
 Parallelism follows the fleet/batch idiom: the parent process resolves
-every request against the cache first, fans only the misses out to a
-``ProcessPoolExecutor``, and is the sole cache writer — workers never
-touch the cache, so parallel runs cannot race it.
+every request against the cache first, fans only the misses out through
+the :mod:`repro.exec` backbone, and is the sole cache writer — workers
+never touch the cache, so parallel runs cannot race it.
 """
 
 from __future__ import annotations
@@ -48,6 +48,7 @@ from repro.analog.ring_oscillator import (
     staggered_initial_condition,
 )
 from repro.errors import ConfigurationError, ConvergenceError
+from repro.exec import run_tasks
 from repro.obs import OBS
 from repro.spice import solver
 from repro.spice.devices import VoltageSource
@@ -364,6 +365,13 @@ def _characterize_one(request: SweepRequest, fp: Optional[str] = None) -> SweepR
         raise ConfigurationError(f"unknown sweep request {type(request).__name__}")
 
 
+def _characterize_pair(pair) -> SweepResult:
+    """``(request, fingerprint)`` worker for the :mod:`repro.exec`
+    fan-out (top-level so it pickles)."""
+    request, fp = pair
+    return _characterize_one(request, fp)
+
+
 # ----------------------------------------------------------------------
 # The cache
 # ----------------------------------------------------------------------
@@ -503,8 +511,9 @@ def characterize_many(
     :func:`default_cache`; pass ``cache_dir`` to point a fresh cache at
     a specific directory instead, or a
     ``CharacterizationCache(enabled=False)`` to force cold runs.
-    ``parallel=k`` fans cache misses out over ``k`` worker processes;
-    the parent alone writes the cache.
+    ``parallel=k`` fans cache misses out over ``k`` worker processes
+    through :func:`repro.exec.run_tasks` (worker-recorded metrics merge
+    back into the parent); the parent alone writes the cache.
     """
     requests = list(requests)
     if cache is None:
@@ -520,20 +529,12 @@ def characterize_many(
         OBS.metrics.incr("spice.charlib_misses", len(pending))
         if pending:
             first = [idx[0] for idx in pending.values()]
-            if parallel and parallel > 1 and len(first) > 1:
-                from concurrent.futures import ProcessPoolExecutor
-
-                workers = min(parallel, len(first))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    fresh = list(
-                        pool.map(
-                            _characterize_one,
-                            [requests[i] for i in first],
-                            [fps[i] for i in first],
-                        )
-                    )
-            else:
-                fresh = [_characterize_one(requests[i], fps[i]) for i in first]
+            fresh = run_tasks(
+                _characterize_pair,
+                [(requests[i], fps[i]) for i in first],
+                parallel=parallel,
+                label="charlib.characterize",
+            )
             for result in fresh:
                 cache.put(result.fingerprint, result)
                 for i in pending[result.fingerprint]:

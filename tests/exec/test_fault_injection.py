@@ -1,0 +1,158 @@
+"""Failure isolation and retry: TaskError capture, BrokenProcessPool.
+
+Worker functions live at module level so the process backend can pickle
+them; the ``process_backend`` fixture patches the CPU seam (the suite
+must exercise real pools even on one-core hosts) and clears the
+``REPRO_EXEC_BACKEND`` override.
+"""
+
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+import repro.obs as obs
+from repro.errors import ConfigurationError, ExecError
+from repro.exec import BACKEND_ENV, TaskError, run_tasks
+from repro.exec import backbone
+from repro.obs import OBS
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    yield
+    obs.reset()
+
+
+@pytest.fixture
+def process_backend(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    monkeypatch.setattr(backbone, "_cpu_count", lambda: 4)
+
+
+def fail_on_13(x):
+    if x == 13:
+        raise ValueError("item 13 is cursed")
+    return x * 2
+
+
+def chunk_fail_on_13(xs):
+    if 13 in xs:
+        raise ValueError("chunk holds the cursed item")
+    return [x * 2 for x in xs]
+
+
+class Unpicklable(Exception):
+    """An exception that cannot ride home through the pool."""
+
+    def __init__(self):
+        super().__init__("cannot pickle me")
+        self.blob = lambda: None
+
+
+def raise_unpicklable(x):
+    raise Unpicklable()
+
+
+class TestCollect:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_one_bad_item_keeps_the_rest(self, backend, process_backend):
+        results = run_tasks(
+            fail_on_13, range(20), parallel=3, on_error="collect", backend=backend
+        )
+        assert len(results) == 20
+        for i, r in enumerate(results):
+            if i == 13:
+                assert isinstance(r, TaskError)
+                assert r.index == 13
+                assert r.exc_type == "ValueError"
+                assert "cursed" in r.message
+                assert isinstance(r.exception, ValueError)
+            else:
+                assert r == i * 2
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_chunked_failure_covers_its_chunk_only(self, backend, process_backend):
+        # chunk=5 puts 13 in the 10..14 chunk; the other chunks survive.
+        results = run_tasks(
+            chunk_fail_on_13, range(20), parallel=4, chunk=5, chunked=True,
+            on_error="collect", backend=backend,
+        )
+        for i, r in enumerate(results):
+            if 10 <= i < 15:
+                assert isinstance(r, TaskError)
+                assert r.index == i
+                assert r.chunk == (10, 15)
+            else:
+                assert r == i * 2
+
+    def test_failures_counted(self):
+        obs.configure(metrics=True)
+        run_tasks(fail_on_13, [12, 13, 14], on_error="collect", backend="serial")
+        assert OBS.metrics.counter("exec.failures") == 1
+        assert OBS.metrics.counter("exec.tasks") == 3
+
+    def test_unpicklable_exception_degrades_to_execerror(self, process_backend):
+        [err] = run_tasks(
+            raise_unpicklable, [1], parallel=2, on_error="collect",
+            backend="serial",
+        )
+        assert isinstance(err, TaskError)
+        assert err.exception is None
+        assert err.exc_type == "Unpicklable"
+        with pytest.raises(ExecError):
+            err.reraise()
+
+
+class TestRaise:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_original_exception_surfaces(self, backend, process_backend):
+        with pytest.raises(ValueError, match="cursed"):
+            run_tasks(fail_on_13, range(20), parallel=3, backend=backend)
+
+    def test_chunked_fn_must_honor_length_contract(self):
+        def short(xs):
+            return xs[:-1]
+
+        with pytest.raises(ExecError):
+            run_tasks(short, range(4), chunked=True, backend="serial")
+
+
+class TestBrokenPoolRetry:
+    def _fake_map(self, payloads, workers):
+        """Run the worker entry point in-process (no real pool)."""
+        return [backbone._run_chunk(p) for p in payloads]
+
+    def test_transient_worker_death_is_retried(self, monkeypatch, process_backend):
+        obs.configure(metrics=True)
+        calls = {"n": 0}
+
+        def flaky(payloads, workers):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise BrokenProcessPool("worker was OOM-killed")
+            return self._fake_map(payloads, workers)
+
+        monkeypatch.setattr(backbone, "_map_payloads", flaky)
+        results = run_tasks(fail_on_13, range(8), parallel=4, backoff=0.0)
+        assert results == [x * 2 for x in range(8)]
+        assert calls["n"] == 3
+        assert OBS.metrics.counter("exec.retries") == 2
+
+    def test_retry_bound_then_surfaced(self, monkeypatch, process_backend):
+        def always_broken(payloads, workers):
+            raise BrokenProcessPool("worker keeps dying")
+
+        monkeypatch.setattr(backbone, "_map_payloads", always_broken)
+        with pytest.raises(BrokenProcessPool):
+            run_tasks(fail_on_13, range(8), parallel=4, retries=1, backoff=0.0)
+
+    def test_zero_retries_surfaces_immediately(self, monkeypatch, process_backend):
+        calls = {"n": 0}
+
+        def broken(payloads, workers):
+            calls["n"] += 1
+            raise BrokenProcessPool("dead on arrival")
+
+        monkeypatch.setattr(backbone, "_map_payloads", broken)
+        with pytest.raises(BrokenProcessPool):
+            run_tasks(fail_on_13, range(8), parallel=4, retries=0, backoff=0.0)
+        assert calls["n"] == 1

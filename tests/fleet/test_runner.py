@@ -12,8 +12,16 @@ from repro.fleet import (
     synthesize_fleet,
 )
 from repro.errors import ConfigurationError
+from repro.exec import BACKEND_ENV, backbone
 from repro.harvest import fs_low_power_monitor, nyc_pedestrian_night
 from repro.harvest.fast import FastIntermittentSimulator
+
+
+@pytest.fixture
+def process_backend(monkeypatch):
+    """Force genuine multi-process fan-out even on one-core hosts."""
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    monkeypatch.setattr(backbone, "_cpu_count", lambda: 4)
 
 
 @pytest.fixture(scope="module")
@@ -45,16 +53,46 @@ class TestSingleDeviceEquivalence:
 
 
 class TestParallelDeterminism:
-    def test_serial_and_parallel_reports_byte_identical(self, small_fleet):
-        serial = FleetRunner(small_fleet, jobs=1).run()
-        parallel = FleetRunner(small_fleet, jobs=2).run()
+    def test_serial_and_parallel_reports_byte_identical(
+        self, small_fleet, process_backend
+    ):
+        serial = FleetRunner(small_fleet, parallel=1).run()
+        parallel = FleetRunner(small_fleet, parallel=2).run()
         assert serial.report.render() == parallel.report.render()
         assert serial.report.results == parallel.report.results
 
+    def test_serial_backend_override_identical(self, small_fleet, monkeypatch):
+        baseline = FleetRunner(small_fleet, parallel=1).run()
+        monkeypatch.setenv(BACKEND_ENV, "serial")
+        overridden = FleetRunner(small_fleet, parallel=2).run()
+        assert overridden.report.render() == baseline.report.render()
+
     def test_repeat_runs_identical(self, small_fleet):
-        first = FleetRunner(small_fleet, jobs=1).run()
-        second = FleetRunner(small_fleet, jobs=1).run()
+        first = FleetRunner(small_fleet, parallel=1).run()
+        second = FleetRunner(small_fleet, parallel=1).run()
         assert first.report.render() == second.report.render()
+
+
+class TestJobsDeprecationShim:
+    """``jobs=`` keeps working for one release, warning (api v1.1.0
+    shim pattern); ``parallel=`` is the blessed kwarg everywhere."""
+
+    def test_jobs_kwarg_warns_and_aliases(self, small_fleet):
+        with pytest.warns(DeprecationWarning, match="parallel"):
+            runner = FleetRunner(small_fleet, jobs=2)
+        assert runner.parallel == 2
+        assert runner.jobs == 2  # read-side alias, no warning
+
+    def test_run_fleet_jobs_kwarg_warns(self, small_fleet):
+        with pytest.warns(DeprecationWarning, match="parallel"):
+            outcome = run_fleet(small_fleet, jobs=1)
+        assert outcome.jobs == 1
+        assert outcome.parallel == 1
+
+    def test_conflicting_worker_counts_rejected(self, small_fleet):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError):
+                FleetRunner(small_fleet, parallel=2, jobs=4)
 
 
 class TestCacheTransparency:
@@ -86,9 +124,12 @@ class TestPolicies:
 
 
 class TestValidation:
-    def test_jobs_must_be_positive(self, small_fleet):
+    def test_parallel_must_be_positive(self, small_fleet):
         with pytest.raises(ConfigurationError):
-            FleetRunner(small_fleet, jobs=0)
+            FleetRunner(small_fleet, parallel=0)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError):
+                FleetRunner(small_fleet, jobs=0)
 
     def test_reference_engine_supported(self):
         device = DeviceSpec(

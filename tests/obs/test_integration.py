@@ -22,7 +22,7 @@ def _clean_obs():
 
 def _run_fleet(devices, jobs):
     fleet = synthesize_fleet(devices, duration=10.0)
-    return FleetRunner(fleet, jobs=jobs, cache=CalibrationCache()).run()
+    return FleetRunner(fleet, parallel=jobs, cache=CalibrationCache()).run()
 
 
 class TestFleetAggregation:

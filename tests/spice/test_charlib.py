@@ -17,6 +17,7 @@ from repro.spice.charlib import (
     default_cache_dir,
     fingerprint,
 )
+from repro.exec import BACKEND_ENV, backbone
 from repro.tech import TECH_90NM, TECH_65NM
 import repro.obs as obs
 
@@ -184,7 +185,12 @@ class TestCharacterizeMany:
         assert cache.stats.misses == 2  # both looked up cold...
         assert len(cache) == 1          # ...but only one solve/store
 
-    def test_parallel_equals_serial(self):
+    def test_parallel_equals_serial(self, monkeypatch):
+        # Force a genuine process fan-out even on one-core hosts / under
+        # the CI serial-backend override: the assertion is backend
+        # equivalence, which the override would short-circuit.
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.setattr(backbone, "_cpu_count", lambda: 4)
         serial = characterize_many(
             [ring_sweep(), ring_sweep(n_stages=7)], cache=no_cache()
         )
@@ -194,6 +200,29 @@ class TestCharacterizeMany:
         for s, p in zip(serial, parallel):
             assert s.frequency == p.frequency
             assert s.current == p.current
+        assert [r.to_dict() for r in serial] == [r.to_dict() for r in parallel]
+
+    def test_parallel_worker_metrics_merged(self, monkeypatch):
+        """Regression: parallel=k used to drop every counter the SPICE
+        solver recorded inside workers; the exec backbone merges
+        snapshots, so solve counts match the serial run exactly."""
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.setattr(backbone, "_cpu_count", lambda: 4)
+        sweeps = [
+            DividerSweep(tech=TECH_90NM, voltages=(1.8,)),
+            DividerSweep(tech=TECH_65NM, voltages=(1.2,)),
+        ]
+        obs.configure(metrics=True)
+        try:
+            characterize_many(sweeps, cache=no_cache())
+            serial_solves = obs.OBS.metrics.counter("spice.dc_solves")
+            obs.configure(metrics=True)  # fresh registry
+            characterize_many(sweeps, cache=no_cache(), parallel=2)
+            parallel_solves = obs.OBS.metrics.counter("spice.dc_solves")
+        finally:
+            obs.reset()
+        assert serial_solves > 0
+        assert parallel_solves == serial_solves
 
     def test_cache_dir_shortcut(self, tmp_path):
         d = str(tmp_path / "charlib")

@@ -19,7 +19,7 @@ from repro.harvest.traces import nyc_pedestrian_night
 
 class TestFacadeSurface:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_all_exports_resolve(self):
         missing = [name for name in api.__all__ if not hasattr(api, name)]
@@ -68,7 +68,7 @@ class TestDeprecationShims:
         from repro.fleet.runner import simulate_device
 
         fleet = synthesize_fleet(2, seed=3, duration=30.0)
-        runner = FleetRunner(fleet, jobs=1, cache=CalibrationCache())
+        runner = FleetRunner(fleet, parallel=1, cache=CalibrationCache())
         work = runner._work_items()
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
@@ -96,7 +96,7 @@ class TestJsonRoundTrips:
         from repro.fleet import CalibrationCache, FleetRunner, synthesize_fleet
 
         fleet = synthesize_fleet(3, seed=3, duration=30.0)
-        report = FleetRunner(fleet, jobs=1, cache=CalibrationCache()).run().report
+        report = FleetRunner(fleet, parallel=1, cache=CalibrationCache()).run().report
         assert self.roundtrip(report.results[0]) == report.results[0]
         assert self.roundtrip(report) == report
 

@@ -36,6 +36,18 @@ class TestCLI:
             main(["experiments", "table3", "nope"])
         assert excinfo.value.code == 2
 
+    def test_experiments_jobs_flag(self, capsys, monkeypatch):
+        from repro.exec import BACKEND_ENV, backbone
+
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.setattr(backbone, "_cpu_count", lambda: 4)
+        main(["experiments", "table1", "table3", "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table III" in out
+        # Canonical order survives the fan-out.
+        assert out.index("Table I") < out.index("Table III")
+
     def test_experiments_list(self, capsys):
         main(["experiments", "--list"])
         out = capsys.readouterr().out
