@@ -36,7 +36,9 @@ from repro.tech import TECH_130NM, TECH_90NM, TECH_65NM, ALL_NODES, get_technolo
 from repro.analog import RingOscillator, VoltageDivider, LevelShifter, SARADC, AnalogComparator
 from repro.errors import ReproError
 
-__version__ = "1.3.0"
+#: Single source of truth for the package version; ``pyproject.toml``
+#: reads it via ``[tool.setuptools.dynamic]`` and CI checks they agree.
+__version__ = "1.4.0"
 
 #: Names forwarded lazily from :mod:`repro.api` (PEP 562): the facade
 #: pulls in the harvest/dse/fleet/batch stack, which a bare
@@ -59,6 +61,8 @@ _API_EXPORTS = (
     "DividerSweep",
     "run_tasks",
     "TaskError",
+    "ReproServer",
+    "ServeClient",
 )
 
 __all__ = [

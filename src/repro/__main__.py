@@ -11,10 +11,14 @@ Subcommands:
   print a one-shot reading with its error budget;
 * ``fleet [--devices N] [--jobs J]`` — simulate a heterogeneous device
   fleet and print aggregate duty/checkpoint distributions plus a
-  deployment-plan preview (``--no-plan`` to skip).
+  deployment-plan preview (``--no-plan`` to skip);
+* ``serve [--host H] [--port P] [--workers N] [--queue-depth D]`` —
+  run the long-lived HTTP job service (:mod:`repro.serve`,
+  ``docs/serving.md``) until Ctrl-C.
 
-Every subcommand accepts the observability flags ``--trace PATH``
-(write a JSONL span/event trace) and ``--metrics`` (collect and print
+``--version``/``-V`` prints the package version and exits.  Every
+subcommand accepts the observability flags ``--trace PATH`` (write a
+JSONL span/event trace) and ``--metrics`` (collect and print
 counters/gauges/histograms); see ``docs/observability.md``.
 """
 
@@ -140,6 +144,26 @@ def cmd_fleet(args) -> None:
         _plan_preview()
 
 
+def cmd_serve(args) -> None:
+    from repro.serve import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        buffer_limit=args.buffer_limit,
+    )
+    server.run(
+        on_ready=lambda s: print(
+            f"repro {__version__} serving on {s.base_url} "
+            f"(workers={s.manager.workers}, queue_depth={s.manager.queue_depth}); "
+            "Ctrl-C to stop",
+            flush=True,
+        )
+    )
+
+
 def cmd_monitor(args) -> None:
     from repro.core import FailureSentinels, FSConfig
     from repro.tech import get_technology
@@ -156,6 +180,10 @@ def cmd_monitor(args) -> None:
 
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    parser.add_argument(
+        "--version", "-V", action="version", version=f"repro {__version__}",
+        help="print the package version and exit",
+    )
     # Observability flags work before *or* after the subcommand.  The
     # subparser copies default to SUPPRESS so a flag given only at the
     # top level is not clobbered by the subparser's parse pass.
@@ -206,6 +234,16 @@ def main(argv=None) -> None:
     flt.add_argument("--no-cache", action="store_true", help="disable the calibration cache")
     flt.add_argument("--cache-dir", default=None, help="persist calibrations to this directory")
     flt.add_argument("--no-plan", action="store_true", help="skip the deployment-plan preview")
+    srv = sub.add_parser("serve", help="run the HTTP job service", parents=[obs_parent])
+    srv.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8733,
+                     help="bind port (default 8733; 0 picks an ephemeral port)")
+    srv.add_argument("--workers", type=int, default=2,
+                     help="concurrent job worker threads (default 2)")
+    srv.add_argument("--queue-depth", type=int, default=16,
+                     help="bounded job queue length; submits beyond it get 503 (default 16)")
+    srv.add_argument("--buffer-limit", type=int, default=256,
+                     help="per-subscriber stream buffer before drop-oldest (default 256)")
 
     args = parser.parse_args(argv)
     command = args.command or "info"
@@ -219,6 +257,7 @@ def main(argv=None) -> None:
             "experiments": cmd_experiments,
             "monitor": cmd_monitor,
             "fleet": cmd_fleet,
+            "serve": cmd_serve,
         }[command](args)
         if metrics_on:
             print(obs.OBS.metrics.render())

@@ -18,7 +18,10 @@ semantics guaranteed across 1.x releases (see ``docs/api.md``):
   routes through (:mod:`repro.exec`);
 * **design-space exploration** — :func:`explore_grid` and
   :func:`nsga2` over a :class:`PerformanceModel`;
-* **the paper's evaluation** — :func:`run_experiments`.
+* **the paper's evaluation** — :func:`run_experiments`;
+* **the job service** — :class:`ReproServer` / :class:`ServeClient`,
+  the long-lived HTTP front door over all of the above
+  (:mod:`repro.serve`, ``docs/serving.md``).
 
 Entry points that predate this module (``repro.harvest.simulator.
 compare_monitors``, ``repro.fleet.runner.simulate_device``, …) keep
@@ -52,6 +55,7 @@ from repro.harvest.fast import FastIntermittentSimulator
 from repro.harvest.monitors import MonitorModel
 from repro.harvest.simulator import IntermittentSimulator, SimulationReport
 from repro.harvest.traces import IrradianceTrace
+from repro.serve import ReproServer, ServeClient, ServeError, ServerThread
 from repro.spice.charlib import (
     CHARLIB_RTOL,
     CharacterizationCache,
@@ -172,7 +176,11 @@ __all__ = [
     "NSGA2",
     "NSGA2Result",
     "PerformanceModel",
+    "ReproServer",
     "Scenario",
+    "ServeClient",
+    "ServeError",
+    "ServerThread",
     "SimulationReport",
     "compare_monitors",
     "evaluate_many",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.dse.objectives import Evaluation, PerformanceModel
 from repro.dse.pareto import crowding_distance, non_dominated_sort
@@ -40,6 +40,29 @@ class NSGA2Result:
         fronts = non_dominated_sort(objs)
         return [feasible[i] for i in fronts[0]]
 
+    def to_dict(self) -> dict:
+        """JSON-ready payload; inverse of :meth:`from_dict`.
+
+        This is the ``dse`` job's wire format in :mod:`repro.serve` —
+        the streamed result must stay byte-identical to a direct
+        :func:`repro.api.nsga2` call serialized the same way.
+        """
+        return {
+            "evaluations": [e.to_dict() for e in self.evaluations],
+            "genomes": [list(g) for g in self.genomes],
+            "generations": self.generations,
+            "evaluated_total": self.evaluated_total,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NSGA2Result":
+        return cls(
+            evaluations=[Evaluation.from_dict(e) for e in data["evaluations"]],
+            genomes=[tuple(float(x) for x in g) for g in data["genomes"]],
+            generations=data["generations"],
+            evaluated_total=data["evaluated_total"],
+        )
+
 
 @dataclass
 class NSGA2:
@@ -58,6 +81,12 @@ class NSGA2:
     eta_crossover: float = 15.0
     eta_mutation: float = 20.0
     seed: int = 1
+    #: Progress hook, called after every generation's environmental
+    #: selection with ``(generation, evaluations)``.  It must not touch
+    #: the optimizer's RNG — results with and without a hook are
+    #: identical (the serve layer streams Pareto fronts from here, and
+    #: raises to cancel a running exploration).
+    on_generation: Optional[Callable[[int, List[Evaluation]], None]] = None
 
     def __post_init__(self) -> None:
         if self.population_size < 4 or self.population_size % 2:
@@ -92,6 +121,8 @@ class NSGA2:
                     population + offspring, evals + off_evals
                 )
                 self._observe_generation(generation, evals)
+                if self.on_generation is not None:
+                    self.on_generation(generation, evals)
             OBS.metrics.incr("dse.evaluations", evaluated)
             return NSGA2Result(
                 evaluations=evals,

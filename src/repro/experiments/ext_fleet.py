@@ -41,14 +41,16 @@ def run(
     n_devices: int = 16,
     duration: float = 120.0,
     seed: int = 3,
-    jobs: int = 1,
+    parallel: int = 1,
     include_planner: bool = True,
     planner: Optional[DeploymentPlanner] = None,
     eval_engine: str = "auto",
 ) -> ExperimentResult:
     fleet = synthesize_fleet(n_devices, seed=seed, duration=duration)
     cache = CalibrationCache()
-    outcome = FleetRunner(fleet, jobs=jobs, cache=cache, eval_engine=eval_engine).run()
+    outcome = FleetRunner(
+        fleet, parallel=parallel, cache=cache, eval_engine=eval_engine
+    ).run()
     report = outcome.report
 
     result = ExperimentResult(

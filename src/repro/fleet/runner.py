@@ -162,53 +162,26 @@ class FleetRunResult:
         return self.jobs
 
 
-def _resolve_parallel_kwarg(
-    parallel: Optional[int], jobs: Optional[int], where: str
-) -> int:
-    """The ``jobs=`` -> ``parallel=`` deprecation shim (one release),
-    matching the v1.1.0 ``repro.api`` shim pattern."""
-    if jobs is not None:
-        warnings.warn(
-            f"{where}(jobs=...) is deprecated; use parallel=...",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        if parallel is not None and parallel != jobs:
-            raise ConfigurationError(
-                f"conflicting worker counts: parallel={parallel}, jobs={jobs}"
-            )
-        parallel = jobs
-    if parallel is None:
-        parallel = 1
-    if parallel < 1:
-        raise ConfigurationError("parallel must be >= 1")
-    return parallel
-
-
 class FleetRunner:
     """Execute a fleet, serially or across worker processes."""
 
     def __init__(
         self,
         fleet: FleetSpec,
-        parallel: Optional[int] = None,
+        parallel: int = 1,
         cache: Optional[CalibrationCache] = None,
         eval_engine: str = "auto",
-        jobs: Optional[int] = None,
     ):
         if eval_engine not in EVAL_ENGINES:
             raise ConfigurationError(
                 f"unknown eval engine {eval_engine!r}; choose from {EVAL_ENGINES}"
             )
+        if parallel < 1:
+            raise ConfigurationError("parallel must be >= 1")
         self.fleet = fleet
-        self.parallel = _resolve_parallel_kwarg(parallel, jobs, "FleetRunner")
+        self.parallel = parallel
         self.cache = cache if cache is not None else CalibrationCache()
         self.eval_engine = eval_engine
-
-    @property
-    def jobs(self) -> int:
-        """Deprecated alias of :attr:`parallel` (kept for one release)."""
-        return self.parallel
 
     # ------------------------------------------------------------------
     def resolve_calibrations(self) -> Dict[Tuple, CalibrationRecord]:
@@ -306,14 +279,11 @@ class FleetRunner:
 
 def run_fleet(
     fleet: FleetSpec,
-    parallel: Optional[int] = None,
+    parallel: int = 1,
     cache: Optional[CalibrationCache] = None,
     eval_engine: str = "auto",
-    jobs: Optional[int] = None,
 ) -> FleetRunResult:
-    """Convenience wrapper: build a runner and run it.
-
-    ``jobs=`` is a deprecated alias of ``parallel=`` (one release)."""
+    """Convenience wrapper: build a runner and run it."""
     return FleetRunner(
-        fleet, parallel=parallel, cache=cache, eval_engine=eval_engine, jobs=jobs
+        fleet, parallel=parallel, cache=cache, eval_engine=eval_engine
     ).run()

@@ -113,6 +113,36 @@ class DeviceSpec:
             raise ConfigurationError("trace scale cannot be negative")
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready payload; inverse of :meth:`from_dict`.
+
+        This is the per-device wire format for ``fleet`` jobs in
+        :mod:`repro.serve` (api v1.1.0 ``to_dict`` convention).
+        """
+        return {
+            "device_id": self.device_id,
+            "tech": self.tech,
+            "monitor": self.monitor,
+            "monitor_params": [[k, v] for k, v in self.monitor_params],
+            "panel_area_cm2": self.panel_area_cm2,
+            "capacitance": self.capacitance,
+            "trace": self.trace,
+            "trace_seed": self.trace_seed,
+            "trace_duration": self.trace_duration,
+            "trace_scale": self.trace_scale,
+            "policy": self.policy,
+            "engine": self.engine,
+            "dt": self.dt,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DeviceSpec":
+        payload = dict(data)
+        payload["monitor_params"] = tuple(
+            (k, v) for k, v in payload.get("monitor_params", ())
+        )
+        return cls(**payload)
+
     def calibration_key(self) -> Tuple:
         """What makes two devices share an enrollment/monitor curve."""
         return (self.tech, self.monitor, self.monitor_params)
@@ -155,6 +185,21 @@ class FleetSpec:
         return FleetSpec(
             devices=tuple(replace(d, engine=engine) for d in self.devices),
             name=self.name,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready payload; inverse of :meth:`from_dict` (the
+        ``fleet`` job wire format in :mod:`repro.serve`)."""
+        return {
+            "name": self.name,
+            "devices": [d.to_dict() for d in self.devices],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FleetSpec":
+        return cls(
+            devices=tuple(DeviceSpec.from_dict(d) for d in data.get("devices", [])),
+            name=data.get("name", "fleet"),
         )
 
 

@@ -1,0 +1,164 @@
+"""A small blocking client for the job service (tests, examples, CI).
+
+Pure stdlib (``http.client``), one connection per call::
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(port=8733)
+    job = client.submit("fleet", {"fleet": spec.to_dict(), "parallel": 4})
+    for event in client.stream(job["id"]):
+        ...                       # incremental DeviceResults, live
+    report = client.result(job["id"])   # the final FleetReport payload
+
+``stream`` yields decoded NDJSON event dicts until the job's terminal
+``end`` event (or the server closes the stream).  ``result`` polls the
+job to a terminal state and returns the final result payload, raising
+:class:`ServeError` for failed/cancelled jobs — it does not depend on
+the stream, so it works even when a slow consumer's buffer dropped the
+``result`` event.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.serve.jobs import TERMINAL_STATES
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(ReproError):
+    """The service answered with an error (or did not answer at all)."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """Blocking helpers over the serve HTTP API."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8733, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Tuple[int, Dict]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = headers = None
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers = {"Content-Type": "application/json"}
+            connection.request(method, path, body=body, headers=headers or {})
+            response = connection.getresponse()
+            data = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeError(f"{method} {path} failed: {exc}")
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(data.decode("utf-8")) if data else {}
+        except ValueError:
+            raise ServeError(f"{method} {path}: non-JSON response", response.status)
+        return response.status, decoded
+
+    def _expect(self, method: str, path: str, payload=None, ok=(200,)) -> Dict:
+        status, decoded = self._request(method, path, payload)
+        if status not in ok:
+            raise ServeError(
+                f"{method} {path} -> {status}: {decoded.get('error', decoded)}",
+                status,
+            )
+        return decoded
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict:
+        return self._expect("GET", "/healthz")
+
+    def metrics(self) -> Dict:
+        return self._expect("GET", "/metrics")
+
+    def submit(self, kind: str, request: Dict) -> Dict:
+        """Submit a job; returns its status dict (``{"id": ..., ...}``)."""
+        decoded = self._expect(
+            "POST", "/jobs", {"type": kind, "request": request}, ok=(202,)
+        )
+        return decoded["job"]
+
+    def jobs(self) -> List[Dict]:
+        return self._expect("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict:
+        return self._expect("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._expect("DELETE", f"/jobs/{job_id}")
+
+    # ------------------------------------------------------------------
+    def stream(self, job_id: str, sse: bool = False) -> Iterator[Dict]:
+        """Yield the job's events (replay + live) until its ``end``.
+
+        NDJSON mode yields every event dict.  SSE mode yields the
+        decoded ``data:`` payloads (identical dicts, different framing).
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        path = f"/jobs/{job_id}/stream" + ("?sse=1" if sse else "")
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            if response.status != 200:
+                detail = response.read().decode("utf-8", "replace").strip()
+                raise ServeError(
+                    f"GET {path} -> {response.status}: {detail}", response.status
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                if sse:
+                    if not line.startswith(b"data:"):
+                        continue
+                    line = line[len(b"data:") :].strip()
+                event = json.loads(line.decode("utf-8"))
+                yield event
+                if event.get("event") == "end":
+                    return
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str, timeout: float = 300.0, poll: float = 0.05) -> Dict:
+        """Poll until the job reaches a terminal state; returns its status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {job['state']} after {timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def result(self, job_id: str, timeout: float = 300.0) -> Dict:
+        """Block until done and return the final result payload."""
+        job = self.wait(job_id, timeout=timeout)
+        if job["state"] != "done":
+            raise ServeError(
+                f"job {job_id} ended {job['state']}: {job.get('error') or ''}".strip()
+            )
+        return self._expect("GET", f"/jobs/{job_id}/result")["result"]

@@ -1,0 +1,268 @@
+"""Per-job-type adapters: JSON request in, streamed events + JSON result out.
+
+Each handler is a plain function ``handler(context, request) -> dict``
+bridging one job type onto the existing :mod:`repro.api` surface.  The
+wire format is the library's own ``to_dict``/``from_dict`` payloads
+(api v1.1.0) — nothing is re-modelled for HTTP, so a streamed result is
+*byte-identical JSON* to what the direct in-process call produces
+(asserted in ``tests/serve/``).
+
+Job types:
+
+``fleet``
+    ``{"fleet": FleetSpec.to_dict(), "parallel": k, "eval_engine": e}``
+    Streams one ``device`` event per :class:`DeviceResult` (in device
+    order); final result is ``FleetReport.to_dict()``.  Calibration
+    goes through the manager's process-lifetime shared cache.
+``dse``
+    ``{"tech": "90nm", "population_size": p, "generations": g,
+    "seed": s}`` — NSGA-II with a ``generation`` event per generation
+    (front size + current Pareto front); final result is
+    ``NSGA2Result.to_dict()``.
+``experiments``
+    ``{"names": [...], "parallel": k}`` — one ``experiment`` event per
+    finished :class:`ExperimentResult`, canonical (paper) order; final
+    result wraps the ``to_dict()`` list.
+``characterize``
+    ``{"sweeps": [sweep_to_dict(...)], "parallel": k}`` — cached SPICE
+    sweeps against the manager's warm shared
+    :class:`~repro.spice.charlib.CharacterizationCache`; one ``sweep``
+    event per result.
+
+Handlers fan heavy work out through
+:meth:`~repro.serve.jobs.JobContext.wave_run`, so every job type honors
+cancellation at wave granularity and streams as waves complete.  A
+request may set ``"wave": n`` to tighten that granularity (tests use
+``wave=1`` to stream/cancel per item).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from typing import Dict, List
+
+from repro.dse.nsga2 import NSGA2
+from repro.dse.objectives import PerformanceModel
+from repro.dse.pareto import non_dominated_sort
+from repro.dse.space import DesignSpace
+from repro.errors import ConfigurationError
+from repro.fleet.report import FleetReport
+from repro.fleet.runner import FleetRunner, _simulate_chunk
+from repro.fleet.spec import FleetSpec
+from repro.serve.jobs import JobContext
+from repro.spice.charlib import (
+    DividerSweep,
+    RingSweep,
+    SweepRequest,
+    characterize_many,
+)
+from repro.tech import get_technology
+
+__all__ = [
+    "HANDLERS",
+    "handle_characterize",
+    "handle_dse",
+    "handle_experiments",
+    "handle_fleet",
+    "sweep_from_dict",
+    "sweep_to_dict",
+]
+
+
+def _parallel(request: Dict) -> int:
+    value = request.get("parallel")
+    if value is None:
+        return 1
+    value = int(value)
+    if value < 1:
+        raise ConfigurationError(f"parallel must be >= 1, got {value}")
+    return value
+
+
+def _wave(request: Dict):
+    wave = request.get("wave")
+    return int(wave) if wave is not None else None
+
+
+# ----------------------------------------------------------------------
+# fleet
+# ----------------------------------------------------------------------
+def handle_fleet(context: JobContext, request: Dict) -> Dict:
+    """Replay a fleet, streaming per-device results as they land."""
+    if "fleet" not in request:
+        raise ConfigurationError('fleet job needs a "fleet" payload')
+    fleet = FleetSpec.from_dict(request["fleet"])
+    parallel = _parallel(request)
+    eval_engine = request.get("eval_engine", "auto")
+    runner = FleetRunner(
+        fleet,
+        parallel=parallel,
+        cache=context.manager.calibration_cache,
+        eval_engine=eval_engine,
+    )
+    context.emit("fleet", name=fleet.name, devices=len(fleet))
+    work = runner._work_items()
+
+    def on_item(index: int, outcome) -> None:
+        context.emit("device", index=index, result=outcome.to_dict())
+
+    results = context.wave_run(
+        functools.partial(_simulate_chunk, engine=eval_engine),
+        work,
+        parallel=parallel,
+        chunked=True,
+        on_item=on_item,
+        wave=_wave(request),
+        label="serve.fleet",
+    )
+    # Same aggregation as FleetRunner.run(): DeviceResults in id order,
+    # so this payload is byte-identical to the direct run's report.
+    return FleetReport(fleet_name=fleet.name, results=results).to_dict()
+
+
+# ----------------------------------------------------------------------
+# dse
+# ----------------------------------------------------------------------
+def _pareto_front(evaluations) -> List[Dict]:
+    feasible = [e for e in evaluations if e.feasible]
+    if not feasible:
+        return []
+    fronts = non_dominated_sort([e.objectives() for e in feasible])
+    return [feasible[i].to_dict() for i in fronts[0]]
+
+
+def handle_dse(context: JobContext, request: Dict) -> Dict:
+    """NSGA-II exploration with generation-by-generation Pareto fronts."""
+    tech = get_technology(request.get("tech", "90nm"))
+    model = PerformanceModel(DesignSpace(tech))
+    kwargs = {}
+    for key in ("population_size", "generations", "seed"):
+        if key in request:
+            kwargs[key] = int(request[key])
+
+    def on_generation(generation: int, evaluations) -> None:
+        context.check_cancelled()
+        front = _pareto_front(evaluations)
+        context.emit(
+            "generation",
+            generation=generation,
+            front_size=len(front),
+            feasible=sum(1 for e in evaluations if e.feasible),
+            pareto=front,
+        )
+        context.emit_metrics()
+
+    result = NSGA2(model=model, on_generation=on_generation, **kwargs).run()
+    return result.to_dict()
+
+
+# ----------------------------------------------------------------------
+# experiments
+# ----------------------------------------------------------------------
+def handle_experiments(context: JobContext, request: Dict) -> Dict:
+    """Regenerate paper tables/figures, streaming each as it finishes."""
+    # Late import: pulls in every experiment driver (the whole library).
+    from repro.experiments.runner import EXPERIMENTS, _run_one
+
+    names = list(request.get("names") or EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown experiments {unknown}; choose from {list(EXPERIMENTS)}"
+        )
+
+    def on_item(index: int, outcome) -> None:
+        result, elapsed = outcome
+        context.emit(
+            "experiment", name=names[index], seconds=elapsed, result=result.to_dict()
+        )
+
+    outcomes = context.wave_run(
+        _run_one,
+        names,
+        parallel=_parallel(request),
+        on_item=on_item,
+        wave=_wave(request),
+        label="serve.experiments",
+    )
+    return {"results": [result.to_dict() for result, _elapsed in outcomes]}
+
+
+# ----------------------------------------------------------------------
+# characterize
+# ----------------------------------------------------------------------
+#: Wire names for the sweep request dataclasses.
+_SWEEP_KINDS = {"ring": RingSweep, "divider": DividerSweep}
+
+
+def sweep_to_dict(request: SweepRequest) -> Dict:
+    """Wire form of a sweep request: named tech node + scalar fields."""
+    kind = "ring" if isinstance(request, RingSweep) else "divider"
+    payload = {"kind": kind, "tech": request.tech.name}
+    for field in dataclasses.fields(request):
+        if field.name == "tech":
+            continue
+        value = getattr(request, field.name)
+        payload[field.name] = list(value) if isinstance(value, tuple) else value
+    return payload
+
+
+def sweep_from_dict(data: Dict) -> SweepRequest:
+    """Inverse of :func:`sweep_to_dict` (named technology nodes only)."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    if kind not in _SWEEP_KINDS:
+        raise ConfigurationError(
+            f"unknown sweep kind {kind!r}; choose from {sorted(_SWEEP_KINDS)}"
+        )
+    cls = _SWEEP_KINDS[kind]
+    tech = get_technology(payload.pop("tech", "90nm"))
+    allowed = {f.name for f in dataclasses.fields(cls)} - {"tech"}
+    unknown = set(payload) - allowed
+    if unknown:
+        raise ConfigurationError(f"unknown sweep fields {sorted(unknown)}")
+    if "voltages" in payload:
+        payload["voltages"] = tuple(payload["voltages"])
+    return cls(tech=tech, **payload)
+
+
+def handle_characterize(context: JobContext, request: Dict) -> Dict:
+    """Cached SPICE characterization against the shared warm cache."""
+    sweeps = [sweep_from_dict(s) for s in request.get("sweeps", [])]
+    if not sweeps:
+        raise ConfigurationError('characterize job needs a non-empty "sweeps" list')
+    parallel = _parallel(request)
+    cache = context.manager.characterization_cache
+    wave = _wave(request) or max(1, parallel) * 4
+    results = []
+    hits0, misses0 = cache.stats.hits, cache.stats.misses
+    for start in range(0, len(sweeps), wave):
+        context.check_cancelled()
+        # Per-wave characterize_many keeps the parent the sole cache
+        # writer while letting cancellation land between waves.
+        for offset, result in enumerate(
+            characterize_many(
+                sweeps[start : start + wave], parallel=parallel, cache=cache
+            )
+        ):
+            context.emit("sweep", index=start + offset, result=result.to_dict())
+            results.append(result)
+        context.emit_metrics()
+    context.check_cancelled()
+    return {
+        "results": [r.to_dict() for r in results],
+        "cache": {
+            "hits": cache.stats.hits - hits0,
+            "misses": cache.stats.misses - misses0,
+        },
+    }
+
+
+#: The default job-type registry a :class:`JobManager` starts from.
+HANDLERS = {
+    "fleet": handle_fleet,
+    "dse": handle_dse,
+    "experiments": handle_experiments,
+    "characterize": handle_characterize,
+}

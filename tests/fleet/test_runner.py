@@ -73,26 +73,24 @@ class TestParallelDeterminism:
         assert first.report.render() == second.report.render()
 
 
-class TestJobsDeprecationShim:
-    """``jobs=`` keeps working for one release, warning (api v1.1.0
-    shim pattern); ``parallel=`` is the blessed kwarg everywhere."""
+class TestJobsKwargRemoved:
+    """The v1.1-1.3 ``jobs=`` deprecation shim served its one release;
+    as of v1.4 ``parallel=`` is the only spelling (the
+    ``FleetRunResult.jobs`` *field* stays — it is result metadata, not
+    the deprecated kwarg)."""
 
-    def test_jobs_kwarg_warns_and_aliases(self, small_fleet):
-        with pytest.warns(DeprecationWarning, match="parallel"):
-            runner = FleetRunner(small_fleet, jobs=2)
-        assert runner.parallel == 2
-        assert runner.jobs == 2  # read-side alias, no warning
+    def test_jobs_kwarg_rejected(self, small_fleet):
+        with pytest.raises(TypeError):
+            FleetRunner(small_fleet, jobs=2)
 
-    def test_run_fleet_jobs_kwarg_warns(self, small_fleet):
-        with pytest.warns(DeprecationWarning, match="parallel"):
-            outcome = run_fleet(small_fleet, jobs=1)
+    def test_run_fleet_jobs_kwarg_rejected(self, small_fleet):
+        with pytest.raises(TypeError):
+            run_fleet(small_fleet, jobs=1)
+
+    def test_result_metadata_field_remains(self, small_fleet):
+        outcome = run_fleet(small_fleet, parallel=1)
         assert outcome.jobs == 1
         assert outcome.parallel == 1
-
-    def test_conflicting_worker_counts_rejected(self, small_fleet):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigurationError):
-                FleetRunner(small_fleet, parallel=2, jobs=4)
 
 
 class TestCacheTransparency:
@@ -127,9 +125,6 @@ class TestValidation:
     def test_parallel_must_be_positive(self, small_fleet):
         with pytest.raises(ConfigurationError):
             FleetRunner(small_fleet, parallel=0)
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigurationError):
-                FleetRunner(small_fleet, jobs=0)
 
     def test_reference_engine_supported(self):
         device = DeviceSpec(

@@ -1,0 +1,115 @@
+"""Handler adapters: wire-format round trips and request validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.handlers import HANDLERS, sweep_from_dict, sweep_to_dict
+from repro.serve.jobs import JobCancelled, JobContext, JobManager
+from repro.spice.charlib import DividerSweep, RingSweep, fingerprint
+from repro.tech import TECH_65NM, TECH_90NM
+
+
+class _StubJob:
+    """Just enough of a Job for a handler to run synchronously."""
+
+    def __init__(self):
+        import threading
+
+        self.job_id = "j-test"
+        self.cancel_event = threading.Event()
+        self.published = []
+
+    def publish(self, event):
+        self.published.append(event)
+        return event
+
+
+def _context():
+    manager = JobManager(handlers={})  # not started: handlers run inline
+    job = _StubJob()
+    return JobContext(job, manager), job
+
+
+class TestSweepWireFormat:
+    def test_ring_round_trip_preserves_fingerprint(self):
+        sweep = RingSweep(tech=TECH_90NM, n_stages=7, voltages=(0.7, 0.9, 1.1))
+        restored = sweep_from_dict(sweep_to_dict(sweep))
+        assert restored == sweep
+        assert fingerprint(restored) == fingerprint(sweep)
+
+    def test_divider_round_trip(self):
+        sweep = DividerSweep(tech=TECH_65NM, voltages=(0.8, 1.0))
+        payload = sweep_to_dict(sweep)
+        assert payload["kind"] == "divider"
+        assert payload["tech"] == TECH_65NM.name
+        assert sweep_from_dict(payload) == sweep
+
+    def test_payload_is_json_safe(self):
+        import json
+
+        sweep = RingSweep(tech=TECH_90NM, n_stages=5, voltages=(0.8, 1.0))
+        assert sweep_from_dict(json.loads(json.dumps(sweep_to_dict(sweep)))) == sweep
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown sweep kind"):
+            sweep_from_dict({"kind": "op-amp"})
+
+    def test_unknown_fields_rejected(self):
+        payload = sweep_to_dict(RingSweep(tech=TECH_90NM, n_stages=5, voltages=(0.8, 1.0)))
+        payload["bogus"] = 1
+        with pytest.raises(ConfigurationError, match="unknown sweep fields"):
+            sweep_from_dict(payload)
+
+
+class TestRequestValidation:
+    def test_registry_covers_issue_job_types(self):
+        assert set(HANDLERS) == {"fleet", "dse", "experiments", "characterize"}
+
+    def test_fleet_requires_payload(self):
+        context, _ = _context()
+        with pytest.raises(ConfigurationError, match='"fleet"'):
+            HANDLERS["fleet"](context, {})
+
+    def test_experiments_rejects_unknown_names(self):
+        context, _ = _context()
+        with pytest.raises(ConfigurationError, match="unknown experiments"):
+            HANDLERS["experiments"](context, {"names": ["not_a_table"]})
+
+    def test_characterize_requires_sweeps(self):
+        context, _ = _context()
+        with pytest.raises(ConfigurationError, match="sweeps"):
+            HANDLERS["characterize"](context, {})
+
+    def test_parallel_must_be_positive(self):
+        context, _ = _context()
+        with pytest.raises(ConfigurationError, match="parallel"):
+            HANDLERS["experiments"](context, {"names": ["table2"], "parallel": 0})
+
+
+class TestInlineExecution:
+    """Handlers are plain functions — they run without the worker pool."""
+
+    def test_characterize_inline_streams_sweeps(self):
+        context, job = _context()
+        sweep = RingSweep(tech=TECH_90NM, n_stages=5, voltages=(0.8, 1.0))
+        out = HANDLERS["characterize"](
+            context, {"sweeps": [sweep_to_dict(sweep)]}
+        )
+        assert out["cache"] == {"hits": 0, "misses": 1}
+        assert len(out["results"]) == 1
+        sweep_events = [e for e in job.published if e["event"] == "sweep"]
+        assert [e["index"] for e in sweep_events] == [0]
+        assert sweep_events[0]["result"] == out["results"][0]
+        # Same request against the same manager: warm cache, same bytes.
+        out2 = HANDLERS["characterize"](
+            context, {"sweeps": [sweep_to_dict(sweep)]}
+        )
+        assert out2["cache"] == {"hits": 1, "misses": 0}
+        assert out2["results"] == out["results"]
+
+    def test_cancel_flag_aborts_inline(self):
+        context, job = _context()
+        job.cancel_event.set()
+        sweep = sweep_to_dict(RingSweep(tech=TECH_90NM, n_stages=5, voltages=(0.8, 1.0)))
+        with pytest.raises(JobCancelled):
+            HANDLERS["characterize"](context, {"sweeps": [sweep]})

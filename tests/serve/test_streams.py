@@ -1,0 +1,85 @@
+"""Encoders and the bounded drop-oldest subscriber buffer."""
+
+import json
+
+import pytest
+
+from repro.serve.streams import (
+    DEFAULT_BUFFER_LIMIT,
+    Subscriber,
+    dropped_marker,
+    encode_ndjson,
+    encode_sse,
+)
+
+
+class TestEncoders:
+    def test_ndjson_is_one_compact_line(self):
+        line = encode_ndjson({"event": "device", "index": 3})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+        assert b" " not in line  # compact separators
+        assert json.loads(line) == {"event": "device", "index": 3}
+
+    def test_sse_frames_event_name_and_data(self):
+        frame = encode_sse({"event": "generation", "front_size": 7})
+        text = frame.decode("utf-8")
+        assert text.startswith("event: generation\n")
+        assert text.endswith("\n\n")
+        data_line = [l for l in text.splitlines() if l.startswith("data: ")][0]
+        assert json.loads(data_line[len("data: "):]) == {
+            "event": "generation",
+            "front_size": 7,
+        }
+
+    def test_sse_defaults_event_name(self):
+        assert encode_sse({"x": 1}).startswith(b"event: message\n")
+
+    def test_same_payload_both_framings(self):
+        event = {"event": "end", "state": "done"}
+        assert json.loads(encode_ndjson(event)) == json.loads(
+            encode_sse(event).decode().split("data: ", 1)[1]
+        )
+
+
+class TestSubscriber:
+    def test_push_drain_fifo(self):
+        sub = Subscriber(limit=8)
+        for i in range(3):
+            sub.push({"i": i})
+        assert [e["i"] for e in sub.drain()] == [0, 1, 2]
+        assert sub.drain() == []
+
+    def test_drop_oldest_when_full(self):
+        sub = Subscriber(limit=2)
+        for i in range(5):
+            sub.push({"i": i})
+        batch = sub.drain()
+        # Lead marker accounts for the 3 lost events; newest survive.
+        assert batch[0] == dropped_marker(3)
+        assert [e["i"] for e in batch[1:]] == [3, 4]
+
+    def test_dropped_counter_resets_after_drain(self):
+        sub = Subscriber(limit=1)
+        sub.push({"i": 0})
+        sub.push({"i": 1})
+        assert sub.dropped == 1
+        sub.drain()
+        assert sub.dropped == 0
+        sub.push({"i": 2})
+        assert sub.drain() == [{"i": 2}]
+
+    def test_notify_fires_per_push_outside_lock(self):
+        calls = []
+        sub = Subscriber(limit=4, notify=lambda: calls.append(len(sub)))
+        sub.push({})
+        sub.push({})
+        # len(sub) inside notify would deadlock if called under the lock.
+        assert calls == [1, 2]
+
+    def test_limit_validated(self):
+        with pytest.raises(ValueError):
+            Subscriber(limit=0)
+
+    def test_default_limit(self):
+        assert Subscriber().limit == DEFAULT_BUFFER_LIMIT

@@ -6,6 +6,15 @@ from repro.__main__ import main
 
 
 class TestCLI:
+    @pytest.mark.parametrize("flag", ["--version", "-V"])
+    def test_version_flag(self, capsys, flag):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([flag])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
     def test_info_default(self, capsys):
         main([])
         out = capsys.readouterr().out

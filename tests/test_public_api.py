@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.obs",
     "repro.batch",
+    "repro.serve",
     "repro.api",
 ]
 

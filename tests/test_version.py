@@ -1,0 +1,48 @@
+"""Version single-sourcing: ``repro.__version__`` is the only place the
+release number is written down.
+
+``pyproject.toml`` must declare ``version`` dynamic and point its
+``[tool.setuptools.dynamic]`` attr at ``repro.__version__`` — a second
+hardcoded number is exactly the drift this guards against.  Parsed with
+a line scan, not a TOML library (py3.9 has no ``tomllib`` and the repo
+adds no dependencies)."""
+
+import re
+from pathlib import Path
+
+import repro
+
+PYPROJECT = Path(__file__).resolve().parent.parent / "pyproject.toml"
+
+
+def test_version_is_semver():
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+
+def test_pyproject_declares_dynamic_version():
+    text = PYPROJECT.read_text(encoding="utf-8")
+    assert re.search(r'^dynamic\s*=\s*\[\s*"version"\s*\]', text, re.M), (
+        "pyproject.toml must declare version as dynamic"
+    )
+    assert re.search(
+        r'^version\s*=\s*\{\s*attr\s*=\s*"repro\.__version__"\s*\}', text, re.M
+    ), "pyproject.toml must source the version from repro.__version__"
+
+
+def test_no_second_hardcoded_version():
+    text = PYPROJECT.read_text(encoding="utf-8")
+    for line in text.splitlines():
+        stripped = line.split("#", 1)[0]
+        assert not re.match(r'\s*version\s*=\s*"\d', stripped), (
+            f"hardcoded version found in pyproject.toml: {line!r}"
+        )
+
+
+def test_cli_and_health_report_the_same_version(capsys):
+    import pytest as _pytest
+
+    from repro.__main__ import main
+
+    with _pytest.raises(SystemExit):
+        main(["--version"])
+    assert repro.__version__ in capsys.readouterr().out
