@@ -11,7 +11,10 @@ Subcommands:
   print a one-shot reading with its error budget;
 * ``fleet [--devices N] [--jobs J]`` — simulate a heterogeneous device
   fleet and print aggregate duty/checkpoint distributions plus a
-  deployment-plan preview (``--no-plan`` to skip);
+  deployment-plan preview (``--no-plan`` to skip); ``--stream``
+  switches to the sharded constant-memory mode (``--shard-size``,
+  ``--sample``, ``--sample-seed``, ``--reservoir``), which scales to
+  million-device fleets (``docs/fleet_scale.md``);
 * ``serve [--host H] [--port P] [--workers N] [--queue-depth D]`` —
   run the long-lived HTTP job service (:mod:`repro.serve`,
   ``docs/serving.md``) until Ctrl-C.
@@ -117,6 +120,45 @@ def _plan_preview() -> None:
 def cmd_fleet(args) -> None:
     from repro.fleet import CalibrationCache, FleetRunner, synthesize_fleet
 
+    cache = CalibrationCache(enabled=not args.no_cache, cache_dir=args.cache_dir)
+    if args.stream:
+        # Sharded constant-memory mode: devices are generated lazily, so
+        # a million-device fleet never exists as a list anywhere.
+        from repro.fleet import iter_synthesized_devices, stream_fleet
+
+        devices = iter_synthesized_devices(
+            args.devices,
+            seed=args.seed,
+            duration=args.duration,
+            trace=args.irradiance,
+            engine=args.engine,
+        )
+        result = stream_fleet(
+            devices,
+            name=f"synthetic-{args.devices}dev-seed{args.seed}",
+            parallel=args.jobs,
+            shard_size=args.shard_size,
+            cache=cache,
+            eval_engine=args.eval_engine,
+            sample=args.sample,
+            sample_seed=args.sample_seed,
+            capacity=args.reservoir,
+        )
+        print(result.report.render())
+        print(
+            f"({result.devices_simulated}/{result.devices_seen} devices in "
+            f"{result.elapsed:.2f}s, {result.shards} shards, jobs={result.jobs}, "
+            f"calibration cache: {result.cache_summary})"
+        )
+        if args.json:
+            import json
+
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(result.report.to_dict(), fh, indent=2)
+            print(f"(wrote the fleet sketch report to {args.json})")
+        if not args.no_plan:
+            _plan_preview()
+        return
     fleet = synthesize_fleet(
         args.devices,
         seed=args.seed,
@@ -124,7 +166,6 @@ def cmd_fleet(args) -> None:
         trace=args.irradiance,
         engine=args.engine,
     )
-    cache = CalibrationCache(enabled=not args.no_cache, cache_dir=args.cache_dir)
     runner = FleetRunner(
         fleet, parallel=args.jobs, cache=cache, eval_engine=args.eval_engine
     )
@@ -231,6 +272,18 @@ def main(argv=None) -> None:
     )
     flt.add_argument("--json", metavar="PATH", default=None,
                      help="also write the fleet report as JSON to PATH")
+    flt.add_argument("--stream", action="store_true",
+                     help="sharded constant-memory mode: fold devices into mergeable "
+                          "sketches instead of holding every result (docs/fleet_scale.md)")
+    flt.add_argument("--shard-size", type=int, default=2048, metavar="N",
+                     help="devices per shard in --stream mode (default 2048)")
+    flt.add_argument("--sample", type=float, default=1.0, metavar="F",
+                     help="stratified sampling fraction in --stream mode "
+                          "(default 1.0 = simulate everything)")
+    flt.add_argument("--sample-seed", type=int, default=0,
+                     help="seed for the stratified device sampler (default 0)")
+    flt.add_argument("--reservoir", type=int, default=4096, metavar="K",
+                     help="percentile reservoir capacity in --stream mode (default 4096)")
     flt.add_argument("--no-cache", action="store_true", help="disable the calibration cache")
     flt.add_argument("--cache-dir", default=None, help="persist calibrations to this directory")
     flt.add_argument("--no-plan", action="store_true", help="skip the deployment-plan preview")

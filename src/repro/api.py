@@ -12,7 +12,10 @@ semantics guaranteed across 1.x releases (see ``docs/api.md``):
 * **circuit characterization** — :class:`RingSweep` /
   :class:`DividerSweep` + :func:`characterize_many`, the cached SPICE
   sweep front door (:mod:`repro.spice.charlib`);
-* **fleets** — :func:`run_fleet` / :class:`FleetRunner`;
+* **fleets** — :func:`run_fleet` / :class:`FleetRunner`, plus the
+  constant-memory sharded mode :func:`stream_fleet` /
+  :meth:`FleetRunner.run_streaming` returning mergeable
+  :class:`FleetSketch` aggregates (``docs/fleet_scale.md``);
 * **parallel execution** — :func:`run_tasks` / :class:`TaskError`, the
   one fan-out backbone every bulk entry point's ``parallel=`` kwarg
   routes through (:mod:`repro.exec`);
@@ -50,7 +53,18 @@ from repro.exec import BACKEND_ENV as EXEC_BACKEND_ENV
 from repro.exec import TaskError, run_tasks
 from repro.fleet.report import DeviceResult, FleetReport
 from repro.fleet.runner import FleetRunner, FleetRunResult, run_fleet
-from repro.fleet.spec import DeviceSpec, FleetSpec, synthesize_fleet
+from repro.fleet.spec import (
+    DeviceSpec,
+    FleetSpec,
+    iter_synthesized_devices,
+    synthesize_fleet,
+)
+from repro.fleet.stream import (
+    FleetSketch,
+    FleetSketchReport,
+    FleetStreamResult,
+    stream_fleet,
+)
 from repro.harvest.fast import FastIntermittentSimulator
 from repro.harvest.monitors import MonitorModel
 from repro.harvest.simulator import IntermittentSimulator, SimulationReport
@@ -170,7 +184,10 @@ __all__ = [
     "FleetReport",
     "FleetRunResult",
     "FleetRunner",
+    "FleetSketch",
+    "FleetSketchReport",
     "FleetSpec",
+    "FleetStreamResult",
     "GridResult",
     "IntermittentSimulator",
     "NSGA2",
@@ -189,7 +206,9 @@ __all__ = [
     "normalized_app_time",
     "nsga2",
     "resolve_engine",
+    "iter_synthesized_devices",
     "run_experiments",
     "run_fleet",
+    "stream_fleet",
     "synthesize_fleet",
 ]

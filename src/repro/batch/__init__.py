@@ -28,7 +28,12 @@ from repro.batch.dispatch import (
     evaluate_many,
     resolve_engine,
 )
-from repro.batch.scenario import MIN_RUN_WINDOW_V, SCALAR_ENGINES, Scenario
+from repro.batch.scenario import (
+    MIN_RUN_WINDOW_V,
+    SCALAR_ENGINES,
+    Scenario,
+    apply_policy_margin,
+)
 
 #: Documented scalar-vs-batch equivalence tolerance (relative, on every
 #: float field of a SimulationReport; integer fields match exactly).
@@ -42,6 +47,7 @@ __all__ = [
     "MIN_RUN_WINDOW_V",
     "SCALAR_ENGINES",
     "Scenario",
+    "apply_policy_margin",
     "evaluate_many",
     "resolve_engine",
 ]

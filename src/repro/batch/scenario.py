@@ -35,6 +35,24 @@ SCALAR_ENGINES = ("fast", "reference")
 MIN_RUN_WINDOW_V = 0.05
 
 
+def apply_policy_margin(simulator, margin: float) -> None:
+    """Pad the simulator's checkpoint threshold by the policy margin.
+
+    The padded threshold is capped at ``v_on - MIN_RUN_WINDOW_V`` so the
+    device keeps a usable run window — but the cap must never *lower* a
+    calibrated threshold that already sits inside that window.  The
+    pre-1.5 ``min()``-only clamp did exactly that on tight run windows
+    (``v_on - MIN_RUN_WINDOW_V < v_ckpt``): a "guarded" policy made the
+    device checkpoint *later* than its calibration demanded, i.e. the
+    safety margin increased risk.  Shared by :meth:`Scenario.
+    build_simulator` and the fleet runner's per-device path.
+    """
+    if margin <= 0.0:
+        return
+    padded = min(simulator.v_ckpt + margin, simulator.v_on - MIN_RUN_WINDOW_V)
+    simulator.v_ckpt = max(simulator.v_ckpt, padded)
+
+
 @dataclass(frozen=True)
 class Scenario:
     """A self-contained harvest/intermittent evaluation request.
@@ -108,11 +126,7 @@ class Scenario:
             v_on=self.v_on,
             leakage=self.leakage,
         )
-        if self.v_ckpt_margin > 0.0:
-            simulator.v_ckpt = min(
-                simulator.v_ckpt + self.v_ckpt_margin,
-                simulator.v_on - MIN_RUN_WINDOW_V,
-            )
+        apply_policy_margin(simulator, self.v_ckpt_margin)
         return simulator
 
     def run_scalar(self) -> SimulationReport:

@@ -24,9 +24,11 @@ from repro.fleet import (
     CalibrationCache,
     DeploymentPlanner,
     FleetRunner,
+    FleetSketch,
     SiteRequirement,
     synthesize_fleet,
 )
+from repro.fleet.stream import device_stratum
 
 #: Site classes for the planner demonstration: the shadier the site,
 #: the tighter the monitor requirement (thin margins need fine reads).
@@ -73,6 +75,26 @@ def run(
                 "p99": max(r.duty_pct for r in group),
             }
         )
+
+    # Streaming cross-check: fold the already-computed results into a
+    # FleetSketch and assert it reproduces the exact stats bit for bit —
+    # the sharded path's small-fleet contract, exercised on real output.
+    sketch = FleetSketch()
+    for device, device_result in zip(fleet.devices, report.results):
+        sketch.update(device_result, stratum=device_stratum(device))
+    mismatched = [
+        metric
+        for metric in ("duty_pct", "app_time", "checkpoints", "power_failures")
+        if sketch.stats(metric) != report.stats(metric)
+    ]
+    result.notes.append(
+        "streaming sketch cross-check: "
+        + (
+            "mean/p50/p95/p99 match the exact report bit-for-bit"
+            if not mismatched
+            else f"MISMATCH on {mismatched}"
+        )
+    )
 
     unique = len(cache)
     result.notes.append(

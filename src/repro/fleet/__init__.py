@@ -10,10 +10,15 @@ same monitor design enroll once; :class:`FleetReport` aggregates the
 duty-cycle / checkpoint / power-failure distributions; and
 :class:`DeploymentPlanner` closes the loop with :mod:`repro.dse`,
 assigning each site the cheapest Pareto-optimal design that meets its
-accuracy and sampling targets.
+accuracy and sampling targets.  At deployment scale (10^6+ devices),
+:func:`stream_fleet` / :meth:`FleetRunner.run_streaming` execute the
+fleet shard by shard into mergeable sketches
+(:class:`FleetSketchReport`) with memory flat in fleet size — see
+``docs/fleet_scale.md``.
 
-Entry points: ``python -m repro fleet`` on the command line, the
-``ext_fleet`` experiment, and :func:`run_fleet` from code.
+Entry points: ``python -m repro fleet`` (``--stream`` for the sharded
+mode) on the command line, the ``ext_fleet`` experiment, and
+:func:`run_fleet` / :func:`stream_fleet` from code.
 """
 
 from repro.fleet.cache import CalibrationCache, CalibrationRecord, build_record
@@ -33,7 +38,17 @@ from repro.fleet.spec import (
     MONITOR_KINDS,
     POLICY_MARGINS,
     TRACE_GENERATORS,
+    iter_synthesized_devices,
     synthesize_fleet,
+)
+from repro.fleet.stream import (
+    FleetSketch,
+    FleetSketchReport,
+    FleetStreamResult,
+    ReservoirSketch,
+    StratifiedSampler,
+    StreamingMoments,
+    stream_fleet,
 )
 
 __all__ = [
@@ -57,5 +72,13 @@ __all__ = [
     "MONITOR_KINDS",
     "POLICY_MARGINS",
     "TRACE_GENERATORS",
+    "iter_synthesized_devices",
     "synthesize_fleet",
+    "FleetSketch",
+    "FleetSketchReport",
+    "FleetStreamResult",
+    "ReservoirSketch",
+    "StratifiedSampler",
+    "StreamingMoments",
+    "stream_fleet",
 ]

@@ -14,6 +14,7 @@ renderer uses fixed-precision formatting only.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
@@ -31,11 +32,20 @@ _METRICS: Tuple[Tuple[str, str, float], ...] = (
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile (numpy's default), dependency-free."""
+    """Linear-interpolated percentile (numpy's default), dependency-free.
+
+    Non-finite inputs are rejected outright: a NaN silently poisons
+    ``sorted()`` (it is incomparable, so it lands at an arbitrary
+    position and corrupts every interpolated rank after it) and an
+    infinity turns interpolation into NaN arithmetic.
+    """
     if not values:
         raise ConfigurationError("percentile of an empty sequence")
     if not 0.0 <= q <= 100.0:
         raise ConfigurationError("percentile q must be in [0, 100]")
+    for v in values:
+        if not math.isfinite(v):
+            raise ConfigurationError(f"percentile of non-finite value {v!r}")
     ordered = sorted(values)
     if len(ordered) == 1:
         return float(ordered[0])
@@ -44,6 +54,19 @@ def percentile(values: Sequence[float], q: float) -> float:
     upper = min(lower + 1, len(ordered) - 1)
     frac = position - lower
     return float(ordered[lower] + frac * (ordered[upper] - ordered[lower]))
+
+
+def format_duration_span(shortest: float, longest: float) -> str:
+    """Header wording for per-device trace durations.
+
+    Homogeneous fleets keep the historical ``"300 s"`` form byte for
+    byte; heterogeneous fleets print the min-max range instead of
+    mislabelling every trace with device 0's duration.
+    """
+    low, high = f"{shortest:.0f}", f"{longest:.0f}"
+    if low == high:
+        return f"{low} s"
+    return f"{low}-{high} s"
 
 
 @dataclass(frozen=True)
@@ -148,25 +171,32 @@ class FleetReport:
         return [float(getattr(r, metric)) for r in self.results]
 
     def stats(self, metric: str) -> Dict[str, float]:
-        """mean / p50 / p95 / p99 of one per-device metric."""
+        """mean / p50 / p95 / p99 of one per-device metric.
+
+        The mean is the correctly rounded sum (``math.fsum``), so it is
+        independent of device order and bit-equal to the streaming
+        :class:`~repro.fleet.stream.FleetSketch` mean — the sketch
+        regression tests assert exact equality, not approximation.
+        """
         values = self.metric_values(metric)
         if not values:
             raise ConfigurationError("fleet report has no results")
         return {
-            "mean": sum(values) / len(values),
+            "mean": math.fsum(values) / len(values),
             "p50": percentile(values, 50.0),
             "p95": percentile(values, 95.0),
             "p99": percentile(values, 99.0),
         }
 
     def energy_rollup(self) -> Dict[str, float]:
-        """Total joules per sink across the fleet (id order, so the
-        floating-point sum is reproducible)."""
-        totals: Dict[str, float] = {}
+        """Total joules per sink across the fleet (correctly rounded
+        ``math.fsum``, so the total is device-order independent and
+        bit-equal to the streaming sketch's exact energy totals)."""
+        per_sink: Dict[str, List[float]] = {}
         for result in self.results:
             for sink, joules in result.energy_by_sink:
-                totals[sink] = totals.get(sink, 0.0) + joules
-        return dict(sorted(totals.items()))
+                per_sink.setdefault(sink, []).append(joules)
+        return {sink: math.fsum(values) for sink, values in sorted(per_sink.items())}
 
     def by_monitor(self) -> Dict[str, List[DeviceResult]]:
         groups: Dict[str, List[DeviceResult]] = {}
@@ -193,9 +223,10 @@ class FleetReport:
         """Fixed-precision text report (byte-stable across runs)."""
         if not self.results:
             return f"fleet {self.fleet_name}: (no results)"
+        durations = [r.duration for r in self.results]
+        span = format_duration_span(min(durations), max(durations))
         lines = [
-            f"fleet {self.fleet_name}: {len(self.results)} devices, "
-            f"{self.results[0].duration:.0f} s traces"
+            f"fleet {self.fleet_name}: {len(self.results)} devices, {span} traces"
         ]
         header = f"  {'metric':<16s} {'mean':>10s} {'p50':>10s} {'p95':>10s} {'p99':>10s}"
         lines.append(header)
@@ -214,7 +245,7 @@ class FleetReport:
             lines.append(f"    {sink:<11s} {joules * 1e3:>10.4f} mJ ({share:5.1f}%)")
         lines.append("  duty by monitor:")
         for monitor_name, group in self.by_monitor().items():
-            mean_duty = sum(r.duty_pct for r in group) / len(group)
+            mean_duty = math.fsum(r.duty_pct for r in group) / len(group)
             lines.append(
                 f"    {monitor_name:<12s} {mean_duty:>7.3f}% mean over {len(group)} device(s)"
             )

@@ -27,7 +27,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.batch import ENGINES as EVAL_ENGINES
-from repro.batch import Scenario, evaluate_many
+from repro.batch import (
+    MIN_RUN_WINDOW_V as _MIN_RUN_WINDOW_V,
+    Scenario,
+    apply_policy_margin,
+    evaluate_many,
+)
 from repro.errors import ConfigurationError
 from repro.exec import run_tasks
 from repro.fleet.cache import CalibrationCache, CalibrationRecord
@@ -44,9 +49,9 @@ _ENGINES = {
     "reference": IntermittentSimulator,
 }
 
-#: Keep the deployed threshold strictly below turn-on after policy
-#: padding; without head-room the device would checkpoint at boot.
-_MIN_RUN_WINDOW_V = 0.05
+# _MIN_RUN_WINDOW_V (imported above) keeps the deployed threshold
+# strictly below turn-on after policy padding; the clamp itself lives
+# in :func:`repro.batch.apply_policy_margin`, shared with Scenario.
 
 
 def simulate_device(work: Tuple[DeviceSpec, MonitorModel]) -> DeviceResult:
@@ -73,11 +78,9 @@ def _simulate_device(work: Tuple[DeviceSpec, MonitorModel]) -> DeviceResult:
         panel=SolarPanel(area_cm2=device.panel_area_cm2),
         capacitance=device.capacitance,
     )
-    margin = device.policy_margin()
-    if margin > 0.0:
-        simulator.v_ckpt = min(
-            simulator.v_ckpt + margin, simulator.v_on - _MIN_RUN_WINDOW_V
-        )
+    # Shared with Scenario.build_simulator: padding never lowers the
+    # threshold below its calibrated value, even on tight run windows.
+    apply_policy_margin(simulator, device.policy_margin())
     report = simulator.run(device.build_trace(), dt=device.dt)
     return DeviceResult.from_report(
         device_id=device.device_id,
@@ -250,6 +253,46 @@ class FleetRunner:
             parallel=self.parallel,
             chunk=chunk,
             label="fleet.devices",
+        )
+
+    def run_streaming(
+        self,
+        shard_size: Optional[int] = None,
+        sample: float = 1.0,
+        sample_seed: int = 0,
+        capacity: Optional[int] = None,
+        on_shard=None,
+    ):
+        """Execute the fleet shard by shard into mergeable sketches.
+
+        The constant-memory counterpart of :meth:`run`: results are
+        folded into a :class:`~repro.fleet.stream.FleetSketch` one
+        shard at a time and never accumulated, so memory is flat in
+        fleet size.  Returns a :class:`~repro.fleet.stream.
+        FleetStreamResult` whose report's stats equal :meth:`run`'s
+        exactly for fleets that fit the percentile reservoir (mean and
+        energy totals are exact at *any* size).  See
+        :func:`repro.fleet.stream.stream_fleet` for the knobs.
+        """
+        # Late import: stream builds on this module, so the dependency
+        # must point one way at import time.
+        from repro.fleet import stream
+
+        kwargs = {}
+        if shard_size is not None:
+            kwargs["shard_size"] = shard_size
+        if capacity is not None:
+            kwargs["capacity"] = capacity
+        return stream.stream_fleet(
+            self.fleet.devices,
+            name=self.fleet.name,
+            parallel=self.parallel,
+            cache=self.cache,
+            eval_engine=self.eval_engine,
+            sample=sample,
+            sample_seed=sample_seed,
+            on_shard=on_shard,
+            **kwargs,
         )
 
     def _execute_batched(self, work: List) -> List[DeviceResult]:

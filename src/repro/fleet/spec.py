@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.harvest.traces import (
@@ -203,6 +203,42 @@ class FleetSpec:
         )
 
 
+def iter_synthesized_devices(
+    n_devices: int,
+    seed: int = 1,
+    duration: float = 300.0,
+    trace: str = "nyc_pedestrian_night",
+    engine: str = "fast",
+    monitors: Sequence[str] = ("fs_lp", "fs_hp", "comparator", "adc"),
+    policies: Sequence[str] = ("jit", "guarded"),
+) -> Iterator[DeviceSpec]:
+    """Generate :func:`synthesize_fleet`'s devices lazily, one at a time.
+
+    Yields exactly the specs ``synthesize_fleet(n_devices, seed, ...)``
+    would hold (same RNG stream, same round-robins), without ever
+    materializing the fleet — the device source for
+    :func:`repro.fleet.stream.stream_fleet`, where a 10^6-device run
+    must keep memory flat in fleet size.
+    """
+    if n_devices < 1:
+        raise ConfigurationError("fleet needs at least one device")
+    rng = random.Random(seed)
+    cap_choices = (22e-6, 47e-6, 100e-6, 220e-6)
+    for i in range(n_devices):
+        yield DeviceSpec(
+            device_id=i,
+            monitor=monitors[i % len(monitors)],
+            panel_area_cm2=round(rng.uniform(2.0, 10.0), 2),
+            capacitance=rng.choice(cap_choices),
+            trace=trace,
+            trace_seed=seed * 10_000 + i,
+            trace_duration=duration,
+            trace_scale=round(rng.uniform(0.5, 2.0), 3),
+            policy=policies[i % len(policies)],
+            engine=engine,
+        )
+
+
 def synthesize_fleet(
     n_devices: int,
     seed: int = 1,
@@ -221,29 +257,21 @@ def synthesize_fleet(
     E6 values, per-site irradiance scale 0.5-2x, and a unique trace
     seed.  The same ``(n_devices, seed)`` always produces the same
     fleet, which is what makes serial-vs-parallel and cache-on/off
-    comparisons meaningful.
+    comparisons meaningful.  (:func:`iter_synthesized_devices` yields
+    the same devices without materializing them.)
     """
-    if n_devices < 1:
-        raise ConfigurationError("fleet needs at least one device")
-    rng = random.Random(seed)
-    cap_choices = (22e-6, 47e-6, 100e-6, 220e-6)
-    devices = []
-    for i in range(n_devices):
-        devices.append(
-            DeviceSpec(
-                device_id=i,
-                monitor=monitors[i % len(monitors)],
-                panel_area_cm2=round(rng.uniform(2.0, 10.0), 2),
-                capacitance=rng.choice(cap_choices),
-                trace=trace,
-                trace_seed=seed * 10_000 + i,
-                trace_duration=duration,
-                trace_scale=round(rng.uniform(0.5, 2.0), 3),
-                policy=policies[i % len(policies)],
-                engine=engine,
-            )
+    devices = tuple(
+        iter_synthesized_devices(
+            n_devices,
+            seed=seed,
+            duration=duration,
+            trace=trace,
+            engine=engine,
+            monitors=monitors,
+            policies=policies,
         )
+    )
     return FleetSpec(
-        devices=tuple(devices),
+        devices=devices,
         name=name or f"synthetic-{n_devices}dev-seed{seed}",
     )

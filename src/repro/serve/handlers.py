@@ -13,7 +13,13 @@ Job types:
     ``{"fleet": FleetSpec.to_dict(), "parallel": k, "eval_engine": e}``
     Streams one ``device`` event per :class:`DeviceResult` (in device
     order); final result is ``FleetReport.to_dict()``.  Calibration
-    goes through the manager's process-lifetime shared cache.
+    goes through the manager's process-lifetime shared cache.  With
+    ``"stream": true`` (plus optional ``shard_size`` / ``sample`` /
+    ``sample_seed`` / ``capacity``) the fleet runs through the
+    constant-memory sharded path instead: one ``sketch`` snapshot
+    event per shard (mergeable :class:`~repro.fleet.stream.FleetSketch`
+    wire form), final result ``FleetSketchReport.to_dict()``, and
+    cancellation lands at shard granularity.
 ``dse``
     ``{"tech": "90nm", "population_size": p, "generations": g,
     "seed": s}`` — NSGA-II with a ``generation`` event per generation
@@ -50,6 +56,11 @@ from repro.errors import ConfigurationError
 from repro.fleet.report import FleetReport
 from repro.fleet.runner import FleetRunner, _simulate_chunk
 from repro.fleet.spec import FleetSpec
+from repro.fleet.stream import (
+    DEFAULT_RESERVOIR_CAPACITY,
+    DEFAULT_SHARD_SIZE,
+    stream_fleet,
+)
 from repro.serve.jobs import JobContext
 from repro.spice.charlib import (
     DividerSweep,
@@ -95,6 +106,8 @@ def handle_fleet(context: JobContext, request: Dict) -> Dict:
     fleet = FleetSpec.from_dict(request["fleet"])
     parallel = _parallel(request)
     eval_engine = request.get("eval_engine", "auto")
+    if request.get("stream"):
+        return _handle_fleet_stream(context, fleet, request, parallel, eval_engine)
     runner = FleetRunner(
         fleet,
         parallel=parallel,
@@ -119,6 +132,52 @@ def handle_fleet(context: JobContext, request: Dict) -> Dict:
     # Same aggregation as FleetRunner.run(): DeviceResults in id order,
     # so this payload is byte-identical to the direct run's report.
     return FleetReport(fleet_name=fleet.name, results=results).to_dict()
+
+
+def _handle_fleet_stream(
+    context: JobContext, fleet: FleetSpec, request: Dict, parallel: int, eval_engine: str
+) -> Dict:
+    """Sharded constant-memory fleet execution with sketch snapshots.
+
+    Each folded shard emits one ``sketch`` event carrying the mergeable
+    sketch's wire form — a subscriber can render live fleet-wide
+    percentile estimates at any point of the run.  ``on_shard`` fires
+    after every shard's process pool has been joined, so the
+    cancellation check inside it never strands worker processes; the
+    final payload is byte-identical to the direct
+    :meth:`FleetRunner.run_streaming` result.
+    """
+    shard_size = int(request.get("shard_size", DEFAULT_SHARD_SIZE))
+    sample = float(request.get("sample", 1.0))
+    sample_seed = int(request.get("sample_seed", 0))
+    capacity = int(request.get("capacity", DEFAULT_RESERVOIR_CAPACITY))
+    context.emit("fleet", name=fleet.name, devices=len(fleet), mode="stream")
+
+    def on_shard(shard_index: int, sketch) -> None:
+        context.check_cancelled()
+        context.emit(
+            "sketch",
+            shard=shard_index,
+            seen=sketch.seen,
+            simulated=sketch.count,
+            sketch=sketch.to_dict(),
+        )
+        context.emit_metrics()
+
+    outcome = stream_fleet(
+        fleet.devices,
+        name=fleet.name,
+        parallel=parallel,
+        shard_size=shard_size,
+        cache=context.manager.calibration_cache,
+        eval_engine=eval_engine,
+        sample=sample,
+        sample_seed=sample_seed,
+        capacity=capacity,
+        on_shard=on_shard,
+    )
+    context.check_cancelled()
+    return outcome.report.to_dict()
 
 
 # ----------------------------------------------------------------------

@@ -1,9 +1,12 @@
 """Aggregation math and rendering determinism."""
 
+import dataclasses
+
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.fleet import DeviceResult, FleetReport, percentile
+from repro.fleet.report import format_duration_span
 
 
 def make_result(device_id: int, app_time: float, checkpoints: int = 5, monitor="FS (LP)"):
@@ -52,6 +55,13 @@ class TestPercentile:
     def test_bad_q_rejected(self):
         with pytest.raises(ConfigurationError):
             percentile([1.0], 120.0)
+
+    def test_non_finite_values_rejected(self):
+        """A NaN is incomparable, so it silently corrupts ``sorted()``
+        and every interpolated rank after it — reject it outright."""
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            with pytest.raises(ConfigurationError, match="non-finite"):
+                percentile([1.0, bad, 3.0], 50.0)
 
 
 class TestFleetReport:
@@ -103,3 +113,27 @@ class TestFleetReport:
         report = FleetReport(fleet_name="empty", results=[])
         with pytest.raises(ConfigurationError):
             report.stats("app_time")
+
+
+class TestDurationHeader:
+    """The header must describe *every* device's trace duration, not
+    stamp device 0's onto a heterogeneous fleet (the pre-1.5 bug)."""
+
+    def test_format_duration_span(self):
+        assert format_duration_span(300.0, 300.0) == "300 s"
+        assert format_duration_span(60.0, 300.0) == "60-300 s"
+        # Sub-second spread that rounds to the same integer collapses.
+        assert format_duration_span(299.6, 300.4) == "300 s"
+
+    def test_homogeneous_header_byte_stable(self):
+        report = FleetReport(
+            fleet_name="f", results=[make_result(0, 10.0), make_result(1, 20.0)]
+        )
+        assert report.render().splitlines()[0] == "fleet f: 2 devices, 100 s traces"
+
+    def test_heterogeneous_header_shows_range(self):
+        short = dataclasses.replace(make_result(0, 10.0), duration=40.0)
+        report = FleetReport(fleet_name="f", results=[short, make_result(1, 20.0)])
+        assert report.render().splitlines()[0] == "fleet f: 2 devices, 40-100 s traces"
+        # Not device 0's duration stamped fleet-wide:
+        assert "40 s traces" not in report.render()

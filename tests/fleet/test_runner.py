@@ -121,6 +121,79 @@ class TestPolicies:
         assert r_paranoid.app_time != r_jit.app_time
 
 
+class TestPolicyMarginClamp:
+    """The padded threshold is capped at ``v_on - MIN_RUN_WINDOW_V`` —
+    but the cap must never *lower* a calibrated threshold that already
+    sits inside that window.  The pre-1.5 ``min()``-only clamp did
+    exactly that (these tests fail against it)."""
+
+    def test_margin_never_lowers_tight_threshold(self):
+        from types import SimpleNamespace
+
+        from repro.batch import apply_policy_margin
+
+        sim = SimpleNamespace(v_ckpt=3.48, v_on=3.5)
+        apply_policy_margin(sim, 0.025)
+        # Old code: min(3.48 + 0.025, 3.45) == 3.45 — *below* the
+        # calibrated threshold, i.e. the guard made the device riskier.
+        assert sim.v_ckpt == 3.48
+
+    def test_margin_caps_below_turn_on(self):
+        from types import SimpleNamespace
+
+        from repro.batch import MIN_RUN_WINDOW_V, apply_policy_margin
+
+        sim = SimpleNamespace(v_ckpt=3.44, v_on=3.5)
+        apply_policy_margin(sim, 0.05)
+        assert sim.v_ckpt == pytest.approx(3.5 - MIN_RUN_WINDOW_V)
+
+    def test_normal_padding_unaffected(self):
+        from types import SimpleNamespace
+
+        from repro.batch import apply_policy_margin
+
+        sim = SimpleNamespace(v_ckpt=2.0, v_on=3.5)
+        apply_policy_margin(sim, 0.025)
+        assert sim.v_ckpt == pytest.approx(2.025)
+
+    def test_zero_margin_is_identity(self):
+        from types import SimpleNamespace
+
+        from repro.batch import apply_policy_margin
+
+        # A jit device very close to v_on must not be touched at all.
+        sim = SimpleNamespace(v_ckpt=3.49, v_on=3.5)
+        apply_policy_margin(sim, 0.0)
+        assert sim.v_ckpt == 3.49
+
+    def test_tight_window_simulator_end_to_end(self):
+        """Build a real simulator whose *calibrated* threshold lands
+        inside the guard window (small buffer cap -> big checkpoint
+        reserve) and check the guarded policy cannot lower it."""
+        from repro.batch import MIN_RUN_WINDOW_V, apply_policy_margin
+
+        def build(capacitance):
+            return FastIntermittentSimulator(
+                fs_low_power_monitor(), capacitance=capacitance
+            )
+
+        # v_ckpt(C) = A + B/C: solve from two probes, then pick C so the
+        # calibrated threshold sits inside (v_on - window, v_on).
+        c1, c2 = 2e-6, 4e-6
+        v1, v2 = build(c1).v_ckpt, build(c2).v_ckpt
+        slope = (v1 - v2) / (1.0 / c1 - 1.0 / c2)
+        intercept = v1 - slope / c1
+        probe = build(c1)
+        target = probe.v_on - MIN_RUN_WINDOW_V / 2.0
+        simulator = build(slope / (target - intercept))
+        assert simulator.v_on - MIN_RUN_WINDOW_V < simulator.v_ckpt < simulator.v_on
+
+        calibrated = simulator.v_ckpt
+        apply_policy_margin(simulator, 0.025)
+        assert simulator.v_ckpt >= calibrated  # old clamp lowered it
+        assert simulator.v_ckpt < simulator.v_on
+
+
 class TestValidation:
     def test_parallel_must_be_positive(self, small_fleet):
         with pytest.raises(ConfigurationError):

@@ -113,3 +113,62 @@ class TestInlineExecution:
         sweep = sweep_to_dict(RingSweep(tech=TECH_90NM, n_stages=5, voltages=(0.8, 1.0)))
         with pytest.raises(JobCancelled):
             HANDLERS["characterize"](context, {"sweeps": [sweep]})
+
+
+class TestFleetStreaming:
+    """``"stream": true`` fleet jobs: per-shard sketch snapshots, final
+    payload byte-identical to the direct ``run_streaming`` call."""
+
+    def _fleet(self):
+        from repro.fleet import synthesize_fleet
+
+        return synthesize_fleet(6, seed=11, duration=10.0)
+
+    def test_stream_matches_direct_run_streaming(self):
+        from repro.fleet import FleetRunner
+
+        fleet = self._fleet()
+        context, job = _context()
+        out = HANDLERS["fleet"](
+            context, {"fleet": fleet.to_dict(), "stream": True, "shard_size": 2}
+        )
+        direct = FleetRunner(fleet, parallel=1).run_streaming(shard_size=2)
+        assert out == direct.report.to_dict()
+
+    def test_stream_emits_one_sketch_per_shard(self):
+        fleet = self._fleet()
+        context, job = _context()
+        out = HANDLERS["fleet"](
+            context, {"fleet": fleet.to_dict(), "stream": True, "shard_size": 2}
+        )
+        sketches = [e for e in job.published if e["event"] == "sketch"]
+        assert [e["shard"] for e in sketches] == [1, 2, 3]
+        assert [e["simulated"] for e in sketches] == [2, 4, 6]
+        # The last snapshot IS the final sketch (same in-memory object).
+        assert sketches[-1]["sketch"] == out["sketch"]
+
+    def test_stream_snapshot_renders_along_the_way(self):
+        from repro.fleet import FleetSketch, FleetSketchReport
+
+        fleet = self._fleet()
+        context, job = _context()
+        HANDLERS["fleet"](
+            context, {"fleet": fleet.to_dict(), "stream": True, "shard_size": 3}
+        )
+        first = [e for e in job.published if e["event"] == "sketch"][0]
+        partial = FleetSketchReport(
+            fleet_name=fleet.name, sketch=FleetSketch.from_dict(first["sketch"])
+        )
+        assert "3 devices" in partial.render()
+
+    def test_stream_cancel_lands_at_shard_boundary(self):
+        fleet = self._fleet()
+        context, job = _context()
+        job.cancel_event.set()
+        with pytest.raises(JobCancelled):
+            HANDLERS["fleet"](
+                context, {"fleet": fleet.to_dict(), "stream": True, "shard_size": 2}
+            )
+        # The first shard had already been folded when the check fired,
+        # but no sketch snapshot escaped after cancellation.
+        assert [e["event"] for e in job.published if e["event"] == "sketch"] == []
