@@ -38,7 +38,7 @@ from repro.errors import ReproError
 
 #: Single source of truth for the package version; ``pyproject.toml``
 #: reads it via ``[tool.setuptools.dynamic]`` and CI checks they agree.
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: Names forwarded lazily from :mod:`repro.api` (PEP 562): the facade
 #: pulls in the harvest/dse/fleet/batch stack, which a bare
@@ -58,6 +58,8 @@ _API_EXPORTS = (
     "run_experiments",
     "BATCH_RTOL",
     "characterize_many",
+    "fit_surrogate",
+    "SurrogateModel",
     "RingSweep",
     "DividerSweep",
     "run_tasks",

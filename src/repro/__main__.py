@@ -9,6 +9,11 @@ Subcommands:
   experiments out across ``N`` worker processes;
 * ``monitor [--tech N] [--voltage V]`` — build the default monitor and
   print a one-shot reading with its error budget;
+* ``characterize --kind ring|divider --voltages SPEC`` — cached SPICE
+  characterization curves from the command line; ``--engine
+  auto|exact|surrogate`` picks between exact solves and certified
+  interpolants (``docs/surrogates.md``), ``--fit`` pre-fits a certified
+  surrogate over the requested span;
 * ``fleet [--devices N] [--jobs J]`` — simulate a heterogeneous device
   fleet and print aggregate duty/checkpoint distributions plus a
   deployment-plan preview (``--no-plan`` to skip); ``--stream``
@@ -185,6 +190,72 @@ def cmd_fleet(args) -> None:
         _plan_preview()
 
 
+def _parse_voltages(spec: str):
+    """``"a,b,c"`` literal points or ``"lo:hi:n"`` linear span."""
+    if ":" in spec:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ConfigurationError(
+                f"voltage span must be lo:hi:n, got {spec!r}"
+            )
+        lo, hi, n = float(parts[0]), float(parts[1]), int(parts[2])
+        if n < 1:
+            raise ConfigurationError("voltage span needs n >= 1 points")
+        if n == 1:
+            return (lo,)
+        step = (hi - lo) / (n - 1)
+        return tuple(lo + i * step for i in range(n))
+    try:
+        return tuple(float(v) for v in spec.split(",") if v.strip())
+    except ValueError:
+        raise ConfigurationError(f"bad voltage list {spec!r}")
+
+
+def cmd_characterize(args) -> None:
+    from repro.spice.charlib import DividerSweep, RingSweep, characterize_many
+    from repro.tech import get_technology
+
+    tech = get_technology(args.tech)
+    voltages = _parse_voltages(args.voltages)
+    if args.kind == "ring":
+        sweep = RingSweep(
+            tech=tech, n_stages=args.stages, voltages=voltages, temp_k=args.temp
+        )
+    else:
+        sweep = DividerSweep(tech=tech, voltages=voltages, temp_k=args.temp)
+    if args.fit:
+        from repro.spice.surrogate import DEFAULT_TOLERANCE, fit_surrogate
+
+        tol = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        model = fit_surrogate(sweep, tolerance=tol)
+        print(
+            f"fitted surrogate: {len(model.v_anchors)} anchors x "
+            f"{len(model.temps)} temps, certified error "
+            f"{model.certified_error:.2%} <= {model.tolerance:.2%} "
+            f"({model.cert_points} held-out solves, {model.rounds} refinement rounds)"
+        )
+    [result] = characterize_many(
+        [sweep], engine=args.engine, parallel=args.jobs, tolerance=args.tolerance
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+        return
+    label = f"{args.kind} @ {tech.name}, {args.temp:.1f} K ({result.source})"
+    if args.kind == "ring":
+        label += f", {args.stages} stages"
+        print(label)
+        print(f"  {'V':>8s} {'freq (MHz)':>12s} {'current (uA)':>13s}")
+        for v, f, i in zip(result.voltages, result.frequency, result.current):
+            print(f"  {v:8.3f} {f / 1e6:12.4f} {i * 1e6:13.4f}")
+    else:
+        print(label)
+        print(f"  {'V':>8s} {'tap (V)':>10s} {'current (uA)':>13s}")
+        for v, t, i in zip(result.voltages, result.tap, result.current):
+            print(f"  {v:8.3f} {t:10.4f} {i * 1e6:13.4f}")
+
+
 def cmd_serve(args) -> None:
     from repro.serve import ReproServer
 
@@ -253,6 +324,33 @@ def main(argv=None) -> None:
     mon = sub.add_parser("monitor", help="one-shot monitor demo", parents=[obs_parent])
     mon.add_argument("--tech", default="90nm", choices=["130nm", "90nm", "65nm"])
     mon.add_argument("--voltage", type=float, default=2.7)
+    chz = sub.add_parser(
+        "characterize", help="cached SPICE characterization curves",
+        parents=[obs_parent],
+    )
+    chz.add_argument("--kind", default="divider", choices=["ring", "divider"],
+                     help="circuit to characterize (default divider)")
+    chz.add_argument("--tech", default="90nm", choices=["130nm", "90nm", "65nm"])
+    chz.add_argument("--stages", type=int, default=5,
+                     help="ring length for --kind ring (default 5)")
+    chz.add_argument("--voltages", default="1.0:3.5:11", metavar="SPEC",
+                     help='supply points: "a,b,c" literals or "lo:hi:n" span '
+                          "(default 1.0:3.5:11)")
+    chz.add_argument("--temp", type=float, default=298.15, metavar="K",
+                     help="simulation temperature in kelvin (default 298.15)")
+    chz.add_argument(
+        "--engine", default="auto", choices=["auto", "exact", "surrogate"],
+        help="curve source (default auto: certified surrogate when one covers "
+             "the request, exact solves otherwise; see docs/surrogates.md)",
+    )
+    chz.add_argument("--tolerance", type=float, default=None, metavar="RTOL",
+                     help="certified surrogate tolerance (default 0.02)")
+    chz.add_argument("--fit", action="store_true",
+                     help="fit+certify a surrogate over the requested span first")
+    chz.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="worker processes for exact solves")
+    chz.add_argument("--json", action="store_true",
+                     help="print the SweepResult as JSON instead of a table")
     flt = sub.add_parser("fleet", help="fleet-scale deployment simulation", parents=[obs_parent])
     flt.add_argument("--devices", type=int, default=20, help="fleet size (default 20)")
     flt.add_argument("--jobs", type=int, default=1, help="worker processes (default serial)")
@@ -309,6 +407,7 @@ def main(argv=None) -> None:
             "info": cmd_info,
             "experiments": cmd_experiments,
             "monitor": cmd_monitor,
+            "characterize": cmd_characterize,
             "fleet": cmd_fleet,
             "serve": cmd_serve,
         }[command](args)

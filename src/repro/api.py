@@ -11,7 +11,11 @@ semantics guaranteed across 1.x releases (see ``docs/api.md``):
   numpy-vectorized lockstep kernel (:mod:`repro.batch`);
 * **circuit characterization** — :class:`RingSweep` /
   :class:`DividerSweep` + :func:`characterize_many`, the cached SPICE
-  sweep front door (:mod:`repro.spice.charlib`);
+  sweep front door (:mod:`repro.spice.charlib`) with
+  ``engine="exact"|"surrogate"|"auto"`` dispatch over exact solves and
+  certified interpolants (:func:`fit_surrogate` /
+  :class:`SurrogateModel`, :mod:`repro.spice.surrogate`,
+  ``docs/surrogates.md``);
 * **fleets** — :func:`run_fleet` / :class:`FleetRunner`, plus the
   constant-memory sharded mode :func:`stream_fleet` /
   :meth:`FleetRunner.run_streaming` returning mergeable
@@ -26,9 +30,9 @@ semantics guaranteed across 1.x releases (see ``docs/api.md``):
   the long-lived HTTP front door over all of the above
   (:mod:`repro.serve`, ``docs/serving.md``).
 
-Entry points that predate this module (``repro.harvest.simulator.
-compare_monitors``, ``repro.fleet.runner.simulate_device``, …) keep
-working for one release behind :class:`DeprecationWarning` shims.
+Entry points that predate this module lived behind
+:class:`DeprecationWarning` shims for one release (the api-v1.1.0
+policy) and were removed in v1.6.0 — import them from here instead.
 """
 
 from __future__ import annotations
@@ -72,11 +76,18 @@ from repro.harvest.traces import IrradianceTrace
 from repro.serve import ReproServer, ServeClient, ServeError, ServerThread
 from repro.spice.charlib import (
     CHARLIB_RTOL,
+    CHAR_ENGINES,
     CharacterizationCache,
     DividerSweep,
     RingSweep,
     SweepResult,
     characterize_many,
+)
+from repro.spice.surrogate import (
+    DEFAULT_TOLERANCE as SURROGATE_TOLERANCE,
+    SurrogateModel,
+    fit_surrogate,
+    fit_variation_family,
 )
 
 #: Grid exploration under its blessed name (``grid_explore`` remains an
@@ -164,12 +175,17 @@ __all__ = [
     "AUTO_BATCH_MIN",
     "BATCH_RTOL",
     "CHARLIB_RTOL",
+    "CHAR_ENGINES",
     "CharacterizationCache",
     "DividerSweep",
     "ENGINES",
     "RingSweep",
+    "SURROGATE_TOLERANCE",
+    "SurrogateModel",
     "SweepResult",
     "characterize_many",
+    "fit_surrogate",
+    "fit_variation_family",
     "DesignPoint",
     "DesignSpace",
     "EXEC_BACKEND_ENV",

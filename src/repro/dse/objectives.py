@@ -320,6 +320,7 @@ class PerformanceModel:
         *,
         parallel: Optional[int] = None,
         cache=None,
+        engine: str = "exact",
     ) -> "list[dict]":
         """Device-level validation of the analytic model, per point.
 
@@ -332,6 +333,11 @@ class PerformanceModel:
         relative disagreement — a *diagnostic*, not a gate: the analytic
         model is a lumped approximation, and enrollment absorbs absolute
         offsets in the real system.
+
+        ``engine`` defaults to ``"exact"`` — a cross-*check* answered by
+        an interpolant fitted from the thing being checked would be
+        circular.  Pass ``engine="auto"`` only for exploratory sweeps
+        where a certified surrogate answer is acceptable.
         """
         from repro.spice.charlib import RingSweep, characterize_many
 
@@ -349,7 +355,10 @@ class PerformanceModel:
             for n in lengths
         ]
         results = dict(
-            zip(lengths, characterize_many(sweeps, parallel=parallel, cache=cache))
+            zip(
+                lengths,
+                characterize_many(sweeps, engine=engine, parallel=parallel, cache=cache),
+            )
         )
         out = []
         for point in points:

@@ -143,6 +143,9 @@ def select_config(
     best = min(qualifying, key=requirements.score)
     spice_check = None
     if spice_validate:
+        # Always exact solves — the winner's validation must never be
+        # answered by a surrogate fitted from the same characterization
+        # path (spice_crosscheck's engine default).
         [spice_check] = model.spice_crosscheck([best.point])
     return Selection(
         config=model.to_config(best.point), evaluation=best, spice_check=spice_check

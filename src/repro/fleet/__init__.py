@@ -28,7 +28,6 @@ from repro.fleet.runner import (
     FleetRunner,
     FleetRunResult,
     run_fleet,
-    simulate_device,
     simulate_devices,
 )
 from repro.fleet.spec import (
@@ -64,7 +63,6 @@ __all__ = [
     "FleetRunner",
     "FleetRunResult",
     "run_fleet",
-    "simulate_device",
     "simulate_devices",
     "DeviceSpec",
     "ENGINES",

@@ -67,7 +67,7 @@ class CalibrationRecord:
         return tuple(v for _count, v in self.curve)
 
 
-def _enrollment_crosscheck(config: FSConfig) -> None:
+def _enrollment_crosscheck(config: FSConfig, engine: str = "auto") -> None:
     """Device-level sanity probe on a cold enrollment.
 
     Characterizes the divider netlist through the shared
@@ -77,7 +77,10 @@ def _enrollment_crosscheck(config: FSConfig) -> None:
     Runs only when observability is on — it is a data-quality check
     riding the trace, not part of enrollment itself — and never fails
     the enrollment: a non-converged solve is itself a finding worth
-    recording.
+    recording.  ``engine`` follows ``characterize_many``: with a
+    certified surrogate covering the divider (e.g. after
+    :func:`~repro.spice.surrogate.fit_variation_family` enrollment
+    warm-up), ``"auto"`` answers in microseconds per device.
     """
     if not OBS.enabled:
         return
@@ -94,7 +97,7 @@ def _enrollment_crosscheck(config: FSConfig) -> None:
     )
     v_analytic = divider.nominal_output(V_TYPICAL)
     with OBS.tracer.span("spice.crosscheck", tech=config.tech.name) as span:
-        [result] = characterize_many([sweep])
+        [result] = characterize_many([sweep], engine=engine)
         v_spice = result.tap[0]
         if v_spice <= 0.0:
             # charlib records a non-converged point as a zero tap.
@@ -106,8 +109,12 @@ def _enrollment_crosscheck(config: FSConfig) -> None:
     OBS.metrics.observe("fleet.crosscheck_rel_error", error)
 
 
-def build_record(key: Tuple) -> CalibrationRecord:
-    """Cold enrollment: build the record for a calibration key."""
+def build_record(key: Tuple, characterize_engine: str = "auto") -> CalibrationRecord:
+    """Cold enrollment: build the record for a calibration key.
+
+    ``characterize_engine`` routes the enrollment cross-check's divider
+    characterization (see :func:`_enrollment_crosscheck`).
+    """
     tech_name, kind, params = key
     if kind == "ideal":
         return CalibrationRecord(key=key, model=IdealMonitor())
@@ -144,7 +151,7 @@ def build_record(key: Tuple) -> CalibrationRecord:
         fs = FailureSentinels(config)
         table = fs.enroll()
         span.set(entries=len(table.points))
-        _enrollment_crosscheck(config)
+        _enrollment_crosscheck(config, engine=characterize_engine)
     OBS.metrics.incr("fleet.enrollments")
     model = MonitorModel(
         name=name,
@@ -171,11 +178,19 @@ class CalibrationCache:
 
     ``enabled=False`` turns every lookup into a cold build — the
     cache-off baseline the fleet benchmark measures against.
+    ``characterize_engine`` routes cold enrollments' divider
+    cross-checks through ``characterize_many(engine=)``.
     """
 
-    def __init__(self, enabled: bool = True, cache_dir: Optional[str] = None):
+    def __init__(
+        self,
+        enabled: bool = True,
+        cache_dir: Optional[str] = None,
+        characterize_engine: str = "auto",
+    ):
         self.enabled = enabled
         self.cache_dir = cache_dir
+        self.characterize_engine = characterize_engine
         self._records: Dict[Tuple, CalibrationRecord] = {}
         self.stats = CacheStats()
         if cache_dir:
@@ -186,7 +201,7 @@ class CalibrationCache:
         """The record for ``key`` — memoized, disk-backed, or cold."""
         if not self.enabled:
             self.stats.misses += 1
-            return build_record(key)
+            return build_record(key, characterize_engine=self.characterize_engine)
         record = self._records.get(key)
         if record is not None:
             self.stats.hits += 1
@@ -196,7 +211,7 @@ class CalibrationCache:
             self.stats.disk_hits += 1
         else:
             self.stats.misses += 1
-            record = build_record(key)
+            record = build_record(key, characterize_engine=self.characterize_engine)
             self._store_disk(key, record)
         self._records[key] = record
         return record

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import functools
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -52,21 +51,6 @@ _ENGINES = {
 # _MIN_RUN_WINDOW_V (imported above) keeps the deployed threshold
 # strictly below turn-on after policy padding; the clamp itself lives
 # in :func:`repro.batch.apply_policy_margin`, shared with Scenario.
-
-
-def simulate_device(work: Tuple[DeviceSpec, MonitorModel]) -> DeviceResult:
-    """Deprecated one-device entry point (kept for one release).
-
-    Use :func:`simulate_devices` (which batches through
-    :func:`repro.api.evaluate_many`) or :class:`FleetRunner` directly.
-    """
-    warnings.warn(
-        "repro.fleet.runner.simulate_device is deprecated; use "
-        "simulate_devices or FleetRunner (batch-capable)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _simulate_device(work)
 
 
 def _simulate_device(work: Tuple[DeviceSpec, MonitorModel]) -> DeviceResult:
@@ -99,8 +83,8 @@ def simulate_devices(
     lot to :func:`repro.batch.evaluate_many`; with ``engine="auto"``
     large homogeneous chunks vectorize through the numpy kernel while
     small or reference-engine chunks fall back to the scalar engines —
-    either way the results are bit-identical to :func:`simulate_device`
-    (the kernel's equivalence contract).
+    either way the results are bit-identical to the one-device scalar
+    path (the kernel's equivalence contract).
     """
     scenarios = [Scenario.from_device(device, monitor) for device, monitor in work]
     reports = evaluate_many(scenarios, engine=engine)
@@ -174,6 +158,7 @@ class FleetRunner:
         parallel: int = 1,
         cache: Optional[CalibrationCache] = None,
         eval_engine: str = "auto",
+        characterize_engine: str = "auto",
     ):
         if eval_engine not in EVAL_ENGINES:
             raise ConfigurationError(
@@ -183,8 +168,17 @@ class FleetRunner:
             raise ConfigurationError("parallel must be >= 1")
         self.fleet = fleet
         self.parallel = parallel
-        self.cache = cache if cache is not None else CalibrationCache()
+        # characterize_engine routes enrollment divider cross-checks
+        # through characterize_many(engine=) — surrogate-aware when a
+        # certified model covers the fleet's tech cards.  A caller's own
+        # cache keeps its configured engine.
+        self.cache = (
+            cache
+            if cache is not None
+            else CalibrationCache(characterize_engine=characterize_engine)
+        )
         self.eval_engine = eval_engine
+        self.characterize_engine = characterize_engine
 
     # ------------------------------------------------------------------
     def resolve_calibrations(self) -> Dict[Tuple, CalibrationRecord]:
@@ -325,8 +319,13 @@ def run_fleet(
     parallel: int = 1,
     cache: Optional[CalibrationCache] = None,
     eval_engine: str = "auto",
+    characterize_engine: str = "auto",
 ) -> FleetRunResult:
     """Convenience wrapper: build a runner and run it."""
     return FleetRunner(
-        fleet, parallel=parallel, cache=cache, eval_engine=eval_engine
+        fleet,
+        parallel=parallel,
+        cache=cache,
+        eval_engine=eval_engine,
+        characterize_engine=characterize_engine,
     ).run()

@@ -324,41 +324,3 @@ class IntermittentSimulator:
         }
 
 
-def compare_monitors(
-    monitors: Sequence[MonitorModel],
-    trace: IrradianceTrace,
-    dt: float = 5e-4,
-    **simulator_kwargs,
-) -> List[SimulationReport]:
-    """Deprecated alias for :func:`repro.api.compare_monitors`.
-
-    Kept (with identical reference-engine semantics) for one release;
-    the canonical entry point also offers engine selection and batch
-    dispatch.
-    """
-    import warnings
-
-    warnings.warn(
-        "repro.harvest.simulator.compare_monitors is deprecated; use "
-        "repro.api.compare_monitors (same defaults, plus engine selection)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.api import compare_monitors as canonical
-
-    return canonical(monitors, trace, dt=dt, **simulator_kwargs)
-
-
-def normalized_app_time(reports: Sequence[SimulationReport], baseline_name: str = "Ideal") -> Dict[str, float]:
-    """Deprecated alias for :func:`repro.api.normalized_app_time`."""
-    import warnings
-
-    warnings.warn(
-        "repro.harvest.simulator.normalized_app_time is deprecated; use "
-        "repro.api.normalized_app_time",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.api import normalized_app_time as canonical
-
-    return canonical(reports, baseline_name=baseline_name)

@@ -287,22 +287,37 @@ def sweep_from_dict(data: Dict) -> SweepRequest:
 
 
 def handle_characterize(context: JobContext, request: Dict) -> Dict:
-    """Cached SPICE characterization against the shared warm cache."""
+    """Cached SPICE characterization against the shared warm cache.
+
+    ``"engine"`` (``"auto"``/``"exact"``/``"surrogate"``, default auto)
+    and ``"tolerance"`` forward to ``characterize_many`` — the service's
+    process-lifetime cache also holds certified surrogate models, so a
+    fitted node's curves answer without touching the solver.
+    """
     sweeps = [sweep_from_dict(s) for s in request.get("sweeps", [])]
     if not sweeps:
         raise ConfigurationError('characterize job needs a non-empty "sweeps" list')
     parallel = _parallel(request)
+    engine = request.get("engine", "auto")
+    tolerance = request.get("tolerance")
+    if tolerance is not None:
+        tolerance = float(tolerance)
     cache = context.manager.characterization_cache
     wave = _wave(request) or max(1, parallel) * 4
     results = []
     hits0, misses0 = cache.stats.hits, cache.stats.misses
+    surrogate0 = cache.stats.surrogate_hits
     for start in range(0, len(sweeps), wave):
         context.check_cancelled()
         # Per-wave characterize_many keeps the parent the sole cache
         # writer while letting cancellation land between waves.
         for offset, result in enumerate(
             characterize_many(
-                sweeps[start : start + wave], parallel=parallel, cache=cache
+                sweeps[start : start + wave],
+                engine=engine,
+                parallel=parallel,
+                cache=cache,
+                tolerance=tolerance,
             )
         ):
             context.emit("sweep", index=start + offset, result=result.to_dict())
@@ -314,6 +329,7 @@ def handle_characterize(context: JobContext, request: Dict) -> Dict:
         "cache": {
             "hits": cache.stats.hits - hits0,
             "misses": cache.stats.misses - misses0,
+            "surrogate_hits": cache.stats.surrogate_hits - surrogate0,
         },
     }
 

@@ -11,7 +11,11 @@ This package provides the pieces of that flow the reproduction needs:
 * :mod:`repro.spice.waveform` — waveform containers with the measurements
   the experiments need (edge counting, frequency, averages);
 * :mod:`repro.spice.charlib` — batch characterization sweeps behind a
-  persistent on-disk cache (the ``characterize_many`` front door).
+  persistent on-disk cache (the ``characterize_many`` front door with
+  ``engine="exact"|"surrogate"|"auto"`` dispatch);
+* :mod:`repro.spice.surrogate` — certified monotone-PCHIP interpolants
+  fitted from coarse anchor grids of exact solves (the
+  ``engine="surrogate"`` backend).
 
 It is used to simulate the transistor-level parts of Failure Sentinels the
 FPGA cannot express: the diode-connected PMOS voltage divider (including
@@ -38,6 +42,7 @@ from repro.spice.waveform import Waveform, TransientResult
 _CHARLIB_EXPORTS = (
     "CharacterizationCache",
     "CHARLIB_RTOL",
+    "CHAR_ENGINES",
     "DividerSweep",
     "PeriodProbe",
     "RingSweep",
@@ -46,12 +51,25 @@ _CHARLIB_EXPORTS = (
     "default_cache",
 )
 
+#: Names forwarded lazily from :mod:`repro.spice.surrogate` (same
+#: circularity reason — surrogate imports charlib).
+_SURROGATE_EXPORTS = (
+    "DEFAULT_TOLERANCE",
+    "SurrogateModel",
+    "fit_surrogate",
+    "fit_variation_family",
+)
+
 
 def __getattr__(name):
     if name == "charlib" or name in _CHARLIB_EXPORTS:
         import repro.spice.charlib as charlib
 
         return charlib if name == "charlib" else getattr(charlib, name)
+    if name == "surrogate" or name in _SURROGATE_EXPORTS:
+        import repro.spice.surrogate as surrogate
+
+        return surrogate if name == "surrogate" else getattr(surrogate, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -71,4 +89,5 @@ __all__ = [
     "Waveform",
     "TransientResult",
     *_CHARLIB_EXPORTS,
+    *_SURROGATE_EXPORTS,
 ]

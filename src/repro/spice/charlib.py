@@ -12,6 +12,18 @@ module is the front door for that pattern, mirroring
 >>> [result] = characterize_many([sweep], parallel=4)
 >>> result.frequency      # Hz per sweep voltage
 
+``engine=`` selects how curves are produced, mirroring
+``evaluate_many(engine=)``:
+
+* ``"exact"`` — every point is a real SPICE solve (cached);
+* ``"surrogate"`` — answer from a certified
+  :mod:`repro.spice.surrogate` interpolant, fitting one on demand when
+  no cached model covers the request;
+* ``"auto"`` (default) — use a certified surrogate when one already
+  covers the request *and* its tolerance, fall back to exact
+  otherwise.  With no fitted models this is byte-identical to
+  ``"exact"``, so the default is fully backward compatible.
+
 Results are cached in memory and (by default) on disk, keyed by a
 fingerprint of *everything that determines the answer*: a schema
 version, every field of the technology card, every field of the sweep
@@ -68,6 +80,9 @@ CHARLIB_RTOL = 0.02
 
 #: Environment variable overriding the default on-disk cache location.
 CACHE_ENV = "REPRO_CHARLIB_CACHE"
+
+#: Valid values for ``characterize_many(engine=)``.
+CHAR_ENGINES = ("auto", "exact", "surrogate")
 
 #: Rising edges discarded before measuring frequency/current — the
 #: staggered start needs a couple of periods to settle into the limit
@@ -139,7 +154,8 @@ class SweepResult:
     ``frequency``/``current`` are populated for ring sweeps (a dead
     point — below the oscillation cutoff or non-converged — reports
     0.0); ``tap``/``current`` for divider sweeps.  ``fingerprint`` ties
-    the result to the exact request that produced it.
+    the result to the exact request (or, for ``source="surrogate"``,
+    the certified model) that produced it.
     """
 
     kind: str
@@ -148,6 +164,7 @@ class SweepResult:
     frequency: Tuple[float, ...] = ()
     current: Tuple[float, ...] = ()
     tap: Tuple[float, ...] = ()
+    source: str = "exact"
 
     def to_dict(self) -> dict:
         return {
@@ -158,6 +175,7 @@ class SweepResult:
             "frequency": list(self.frequency),
             "current": list(self.current),
             "tap": list(self.tap),
+            "source": self.source,
         }
 
     @classmethod
@@ -169,6 +187,7 @@ class SweepResult:
             frequency=tuple(data.get("frequency", ())),
             current=tuple(data.get("current", ())),
             tap=tuple(data.get("tap", ())),
+            source=data.get("source", "exact"),
         )
 
 
@@ -380,9 +399,13 @@ class CharlibStats:
     hits: int = 0
     misses: int = 0
     disk_hits: int = 0
+    surrogate_hits: int = 0
 
     def summary(self) -> str:
-        return f"{self.hits} hits, {self.misses} misses, {self.disk_hits} from disk"
+        return (
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.disk_hits} from disk, {self.surrogate_hits} surrogate"
+        )
 
 
 class CharacterizationCache:
@@ -394,12 +417,23 @@ class CharacterizationCache:
     ``enabled=False`` makes every lookup a miss (the cold baseline the
     benchmark measures against).  ``cache_dir=None`` keeps the cache
     memory-only.
+
+    The cache also stores certified
+    :class:`repro.spice.surrogate.SurrogateModel` fits
+    (``surrogate-*.json`` disk files) under
+    :func:`~repro.spice.surrogate.model_fingerprint` keys — which
+    include the tolerance and anchor schema, so a tightened tolerance
+    is always a miss — and indexes them by circuit structure for the
+    ``engine="auto"|"surrogate"`` dispatch.
     """
 
     def __init__(self, cache_dir: Optional[str] = None, enabled: bool = True):
         self.enabled = enabled
         self.cache_dir = cache_dir
         self._memory: Dict[str, SweepResult] = {}
+        self._models: Dict[str, object] = {}
+        self._model_index: Dict[tuple, List[object]] = {}
+        self._models_scanned = False
         self.stats = CharlibStats()
         if cache_dir:
             try:
@@ -436,6 +470,91 @@ class CharacterizationCache:
             return
         self._memory[fp] = result
         self._store_disk(fp, result)
+
+    # ------------------------------------------------------------------
+    # Surrogate-model layer
+    # ------------------------------------------------------------------
+    def has_models(self) -> bool:
+        """Whether any certified surrogate model is available — the
+        ``engine="auto"`` gate (False means auto is exactly exact)."""
+        if not self.enabled:
+            return False
+        if self._models:
+            return True
+        self._scan_models()
+        return bool(self._models)
+
+    def get_model(self, fp: str):
+        """Certified model under ``fp`` (memory, then disk), or None."""
+        if not self.enabled:
+            return None
+        model = self._models.get(fp)
+        if model is None:
+            self._scan_models()
+            model = self._models.get(fp)
+        return model
+
+    def put_model(self, model) -> None:
+        if not self.enabled:
+            return
+        self._index_model(model)
+        path = self._model_path(model.fingerprint)
+        if path is None:
+            return
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(model.to_dict(), handle)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except (OSError, UnboundLocalError):
+                pass
+
+    def find_models(self, structure_key: tuple) -> List:
+        """Models able to answer requests with this circuit structure,
+        tightest tolerance first (deterministic order)."""
+        if not self.enabled:
+            return []
+        self._scan_models()
+        return self._model_index.get(structure_key, [])
+
+    def _index_model(self, model) -> None:
+        if model.fingerprint in self._models:
+            return
+        self._models[model.fingerprint] = model
+        bucket = self._model_index.setdefault(model.structure_key(), [])
+        bucket.append(model)
+        bucket.sort(key=lambda m: (m.tolerance, m.v_anchors[0], -m.v_anchors[-1], m.fingerprint))
+
+    def _model_path(self, fp: str) -> Optional[str]:
+        if not self.cache_dir:
+            return None
+        return os.path.join(self.cache_dir, f"surrogate-{fp[:32]}.json")
+
+    def _scan_models(self) -> None:
+        """One-time lazy load of every ``surrogate-*.json`` disk model."""
+        if self._models_scanned:
+            return
+        self._models_scanned = True
+        if not self.cache_dir:
+            return
+        from repro.spice.surrogate import SurrogateModel
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return
+        for name in sorted(names):
+            if not (name.startswith("surrogate-") and name.endswith(".json")):
+                continue
+            try:
+                with open(os.path.join(self.cache_dir, name), "r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+                model = SurrogateModel.from_dict(data)
+            except (OSError, ValueError, KeyError, TypeError, ConfigurationError):
+                continue  # unreadable/stale-schema models are simply skipped
+            self._index_model(model)
 
     # ------------------------------------------------------------------
     def _path(self, fp: str) -> Optional[str]:
@@ -500,24 +619,68 @@ def default_cache() -> CharacterizationCache:
 def characterize_many(
     requests: Sequence[SweepRequest],
     *,
+    engine: str = "auto",
     parallel: Optional[int] = None,
     cache: Optional[CharacterizationCache] = None,
     cache_dir: Optional[str] = None,
+    tolerance: Optional[float] = None,
 ) -> List[SweepResult]:
     """Characterize a batch of sweeps, cached and optionally parallel.
 
     Mirrors :func:`repro.api.evaluate_many`: results come back in
-    request order.  ``cache`` defaults to the process-wide
-    :func:`default_cache`; pass ``cache_dir`` to point a fresh cache at
-    a specific directory instead, or a
-    ``CharacterizationCache(enabled=False)`` to force cold runs.
-    ``parallel=k`` fans cache misses out over ``k`` worker processes
-    through :func:`repro.exec.run_tasks` (worker-recorded metrics merge
-    back into the parent); the parent alone writes the cache.
+    request order, duplicate requests share one result object, and
+    ``engine`` picks the compute path (see the module docstring):
+    ``"exact"`` solves, ``"surrogate"`` answers from certified
+    interpolants (fitting on demand), ``"auto"`` uses a covering
+    certified model when one exists and exact solves otherwise.
+    ``tolerance`` is the certified relative tolerance surrogates must
+    meet (default :data:`repro.spice.surrogate.DEFAULT_TOLERANCE`).
+
+    ``cache`` defaults to the process-wide :func:`default_cache`; pass
+    ``cache_dir`` to point a fresh cache at a specific directory
+    instead, or a ``CharacterizationCache(enabled=False)`` to force
+    cold runs.  ``parallel=k`` fans exact cache misses out over ``k``
+    worker processes through :func:`repro.exec.run_tasks`
+    (worker-recorded metrics merge back into the parent); the parent
+    alone writes the cache.  Serial and parallel runs return identical
+    results under every engine.
     """
+    if engine not in CHAR_ENGINES:
+        raise ConfigurationError(
+            f"unknown characterization engine {engine!r}; pick one of {CHAR_ENGINES}"
+        )
     requests = list(requests)
     if cache is None:
         cache = CharacterizationCache(cache_dir) if cache_dir else default_cache()
+    if engine == "exact" or not requests:
+        return _characterize_exact(requests, parallel=parallel, cache=cache)
+    if engine == "auto" and not cache.has_models():
+        # No certified models anywhere: auto is byte-identical to exact,
+        # without paying any surrogate dispatch overhead.
+        return _characterize_exact(requests, parallel=parallel, cache=cache)
+    from repro.spice import surrogate
+
+    if surrogate.np is None:
+        if engine == "auto":
+            return _characterize_exact(requests, parallel=parallel, cache=cache)
+        raise ConfigurationError(
+            "engine='surrogate' needs numpy; install it or use engine='exact'"
+        )
+    return surrogate.dispatch(
+        requests, engine=engine, parallel=parallel, cache=cache, tolerance=tolerance
+    )
+
+
+def _characterize_exact(
+    requests: List[SweepRequest],
+    *,
+    parallel: Optional[int] = None,
+    cache: Optional[CharacterizationCache] = None,
+) -> List[SweepResult]:
+    """The exact-solve path: two-layer cache in front of the
+    :mod:`repro.exec` fan-out (the pre-1.6 ``characterize_many``)."""
+    if cache is None:
+        cache = default_cache()
     fps = [fingerprint(r) for r in requests]
     with OBS.tracer.span("spice.characterize_many", requests=len(requests)) as sp:
         results: List[Optional[SweepResult]] = [cache.get(fp) for fp in fps]

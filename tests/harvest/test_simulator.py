@@ -14,7 +14,7 @@ from repro.harvest import (
     nyc_pedestrian_night,
 )
 from repro.harvest.monitors import MonitorModel
-from repro.harvest.simulator import compare_monitors, normalized_app_time
+from repro.api import compare_monitors, normalized_app_time
 from repro.units import micro
 
 

@@ -11,7 +11,7 @@ from repro.core import FailureSentinels
 from repro.dse import DesignSpace, PerformanceModel, grid_explore
 from repro.harvest import IntermittentSimulator, nyc_pedestrian_night
 from repro.harvest.monitors import FSMonitor, IdealMonitor
-from repro.harvest.simulator import normalized_app_time
+from repro.api import normalized_app_time
 from repro.riscv import IntermittentMachine, assemble
 from repro.riscv.fs_device import FSDevice
 from repro.harvest.traces import constant_trace

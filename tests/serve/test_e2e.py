@@ -129,7 +129,7 @@ class TestStreamedEqualsDirect:
         cold = client.result(client.submit("characterize", request)["id"])
         warm = client.result(client.submit("characterize", request)["id"])
         assert cold["cache"]["misses"] >= 1
-        assert warm["cache"] == {"hits": 1, "misses": 0}
+        assert warm["cache"] == {"hits": 1, "misses": 0, "surrogate_hits": 0}
         assert _canon(cold["results"]) == _canon(warm["results"])
         direct = api.characterize_many([sweep])[0].to_dict()
         assert _canon(cold["results"][0]) == _canon(direct)

@@ -95,7 +95,7 @@ class TestInlineExecution:
         out = HANDLERS["characterize"](
             context, {"sweeps": [sweep_to_dict(sweep)]}
         )
-        assert out["cache"] == {"hits": 0, "misses": 1}
+        assert out["cache"] == {"hits": 0, "misses": 1, "surrogate_hits": 0}
         assert len(out["results"]) == 1
         sweep_events = [e for e in job.published if e["event"] == "sweep"]
         assert [e["index"] for e in sweep_events] == [0]
@@ -104,7 +104,7 @@ class TestInlineExecution:
         out2 = HANDLERS["characterize"](
             context, {"sweeps": [sweep_to_dict(sweep)]}
         )
-        assert out2["cache"] == {"hits": 1, "misses": 0}
+        assert out2["cache"] == {"hits": 1, "misses": 0, "surrogate_hits": 0}
         assert out2["results"] == out["results"]
 
     def test_cancel_flag_aborts_inline(self):

@@ -1,13 +1,12 @@
 """The stable 1.1 facade: ``repro.api`` plus the JSON round-trips.
 
 Covers the api_redesign contract: the blessed surface imports from one
-place, the lazy top-level re-exports resolve, the pre-1.1 entry points
-still function but warn, and every result type round-trips through
-plain JSON.
+place, the lazy top-level re-exports resolve, the pre-1.1 shims are
+gone after their one-release grace period, and every result type
+round-trips through plain JSON.
 """
 
 import json
-import warnings
 
 import pytest
 
@@ -19,7 +18,7 @@ from repro.harvest.traces import nyc_pedestrian_night
 
 class TestFacadeSurface:
     def test_version(self):
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
 
     def test_all_exports_resolve(self):
         missing = [name for name in api.__all__ if not hasattr(api, name)]
@@ -39,42 +38,36 @@ class TestFacadeSurface:
     def test_evaluate_many_importable_from_api(self):
         from repro.api import evaluate_many  # noqa: F401 - the headline import
 
-    def test_compare_monitors_default_matches_legacy_reference_engine(self):
+    def test_compare_monitors_default_is_reference_engine(self):
+        # The pre-1.1 entry point always ran the reference simulator;
+        # the facade's default must keep those semantics.
         trace = nyc_pedestrian_night(duration=60.0, seed=7)
         monitors = [IdealMonitor(), fs_low_power_monitor()]
         reports = api.compare_monitors(monitors, trace, dt=1e-3)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            from repro.harvest.simulator import compare_monitors as legacy
-
-            legacy_reports = legacy(monitors, trace, dt=1e-3)
-        assert reports == legacy_reports
+        explicit = api.compare_monitors(
+            monitors, trace, dt=1e-3, scalar_engine="reference", engine="scalar"
+        )
+        assert reports == explicit
 
 
-class TestDeprecationShims:
-    def test_harvest_compare_monitors_warns_and_functions(self):
-        trace = nyc_pedestrian_night(duration=60.0, seed=7)
-        from repro.harvest.simulator import compare_monitors, normalized_app_time
+class TestShimsRemoved:
+    """The 1.1-era DeprecationWarning shims were deleted in 1.6.0 after
+    their one-release grace period (the api-v1.1.0 policy)."""
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            reports = compare_monitors([IdealMonitor()], trace, dt=1e-3)
-            normalized = normalized_app_time(reports)
-        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-        assert normalized == {"Ideal": 1.0}
+    def test_harvest_shims_gone(self):
+        import repro.harvest.simulator as simulator
 
-    def test_fleet_simulate_device_warns_and_functions(self):
-        from repro.fleet import CalibrationCache, FleetRunner, synthesize_fleet
-        from repro.fleet.runner import simulate_device
+        assert not hasattr(simulator, "compare_monitors")
+        assert not hasattr(simulator, "normalized_app_time")
 
-        fleet = synthesize_fleet(2, seed=3, duration=30.0)
-        runner = FleetRunner(fleet, parallel=1, cache=CalibrationCache())
-        work = runner._work_items()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            result = simulate_device(work[0])
-        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-        assert result.device_id == work[0][0].device_id
+    def test_fleet_simulate_device_gone(self):
+        import repro.fleet
+        import repro.fleet.runner as runner
+
+        assert not hasattr(runner, "simulate_device")
+        assert "simulate_device" not in repro.fleet.__all__
+        # The canonical batch entry point remains.
+        assert callable(repro.fleet.simulate_devices)
 
 
 class TestJsonRoundTrips:

@@ -64,6 +64,49 @@ class TestCLI:
         assert "ext_fleet" in out
 
 
+class TestCharacterizeCLI:
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, monkeypatch, tmp_path):
+        # The CLI goes through the process-wide default cache; point it
+        # at a fresh directory so models from other tests (or the real
+        # user cache) cannot change which engine answers.
+        from repro.spice import charlib
+
+        monkeypatch.setenv("REPRO_CHARLIB_CACHE", str(tmp_path))
+        monkeypatch.setattr(charlib, "_DEFAULT_CACHE", None)
+
+    def test_divider_table(self, capsys):
+        main(["characterize", "--voltages", "2.0,2.5,3.0"])
+        out = capsys.readouterr().out
+        assert "divider @ 90nm" in out
+        assert "(exact)" in out  # auto with no fitted models solves exactly
+        assert "tap (V)" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        main(["characterize", "--voltages", "2.5", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == "exact"
+        assert len(payload["tap"]) == 1
+
+    def test_surrogate_fit_and_dispatch(self, capsys):
+        pytest.importorskip("numpy")
+        main(["characterize", "--voltages", "1.0:3.5:9",
+              "--engine", "surrogate", "--fit"])
+        out = capsys.readouterr().out
+        assert "fitted surrogate" in out
+        assert "certified error" in out
+        assert "(surrogate)" in out
+
+    def test_bad_voltage_spec_exits_cleanly(self, capsys):
+        for spec in ("nope", "1.0:3.5", "1.0:3.5:0"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["characterize", "--voltages", spec])
+            assert excinfo.value.code == 2
+            assert capsys.readouterr().err.startswith("error: ")
+
+
 class TestFleetCLI:
     def test_fleet_smoke(self, capsys):
         main(["fleet", "--devices", "3", "--duration", "20", "--jobs", "1"])

@@ -153,3 +153,40 @@ class TestCharlibSurface:
 
         assert callable(repro.characterize_many)
         assert repro.RingSweep is repro.api.RingSweep
+
+    def test_characterize_many_engine_signature(self):
+        # The 1.6 front door: engine/tolerance are keyword-only, the
+        # default engine is auto, and the engine names are published.
+        import inspect
+
+        import repro.api as api
+
+        params = inspect.signature(api.characterize_many).parameters
+        assert params["engine"].kind is inspect.Parameter.KEYWORD_ONLY
+        assert params["engine"].default == "auto"
+        assert params["tolerance"].kind is inspect.Parameter.KEYWORD_ONLY
+        assert api.CHAR_ENGINES == ("auto", "exact", "surrogate")
+
+
+class TestSurrogateSurface:
+    def test_api_exports_surrogates(self):
+        import repro.api as api
+
+        for name in (
+            "fit_surrogate", "fit_variation_family", "SurrogateModel",
+            "SURROGATE_TOLERANCE", "CHAR_ENGINES",
+        ):
+            assert hasattr(api, name)
+
+    def test_spice_package_lazy_surrogate_exports(self):
+        import repro.spice as spice
+
+        assert callable(spice.fit_surrogate)
+        assert spice.surrogate.SURROGATE_SCHEMA_VERSION >= 1
+        assert spice.DEFAULT_TOLERANCE == spice.CHARLIB_RTOL
+
+    def test_top_level_lazy_surrogate_exports(self):
+        import repro
+
+        assert callable(repro.fit_surrogate)
+        assert repro.SurrogateModel is repro.api.SurrogateModel
