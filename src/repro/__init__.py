@@ -38,7 +38,7 @@ from repro.errors import ReproError
 
 #: Single source of truth for the package version; ``pyproject.toml``
 #: reads it via ``[tool.setuptools.dynamic]`` and CI checks they agree.
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 #: Names forwarded lazily from :mod:`repro.api` (PEP 562): the facade
 #: pulls in the harvest/dse/fleet/batch stack, which a bare
@@ -52,6 +52,8 @@ _API_EXPORTS = (
     "compare_monitors",
     "normalized_app_time",
     "run_fleet",
+    "run_workload",
+    "IntermittentMachine",
     "stream_fleet",
     "explore_grid",
     "nsga2",

@@ -20,6 +20,11 @@ Subcommands:
   switches to the sharded constant-memory mode (``--shard-size``,
   ``--sample``, ``--sample-seed``, ``--reservoir``), which scales to
   million-device fleets (``docs/fleet_scale.md``);
+* ``riscv [--workload NAME] [--engine fast|legacy]`` — run a named
+  RV32IM workload on the intermittent machine; ``--differential``
+  switches the checkpoint runtime to dirty-page mode, ``--continuous``
+  runs on stable power, ``--list-workloads`` prints the kernel names
+  (``docs/performance.md``);
 * ``serve [--host H] [--port P] [--workers N] [--queue-depth D]`` —
   run the long-lived HTTP job service (:mod:`repro.serve`,
   ``docs/serving.md``) until Ctrl-C.
@@ -256,6 +261,47 @@ def cmd_characterize(args) -> None:
             print(f"  {v:8.3f} {t:10.4f} {i * 1e6:13.4f}")
 
 
+def cmd_riscv(args) -> None:
+    from repro.harvest.traces import constant_trace
+    from repro.riscv import IntermittentMachine, WORKLOADS, get_workload
+
+    if args.list_workloads:
+        for name, workload in WORKLOADS.items():
+            print(f"{name:<10s} ~{workload.approx_instructions} insns  {workload.description}")
+        return
+    workload = get_workload(args.workload)
+    machine = IntermittentMachine(
+        workload.assemble(),
+        capacitance=args.capacitance * 1e-6,
+        clock_hz=args.clock,
+        volatile_bytes=args.volatile_bytes,
+        engine=args.engine,
+        differential_checkpoints=args.differential,
+    )
+    if args.continuous:
+        result = machine.run_continuous()
+    else:
+        trace = constant_trace(args.irradiance, args.duration)
+        result = machine.run(trace=trace, max_wall_time=args.duration)
+    mode = "differential" if args.differential else "full-image"
+    print(f"{workload.name} [{machine.engine} engine, {mode} checkpoints]")
+    print(f"  {result.summary()}")
+    expected = workload.expected_exit_code()
+    verdict = "matches" if result.exit_code == expected else "MISMATCH vs"
+    print(f"  exit code {verdict} the Python reference ({expected})")
+    if machine._fast is not None:
+        print(
+            f"  blocks compiled: {machine._fast.blocks_compiled}, "
+            f"cache hits: {machine._fast.block_hits}"
+        )
+    if result.checkpoints:
+        print(
+            f"  checkpoint time: {result.checkpoint_time * 1e3:.3f} ms over "
+            f"{result.checkpoints} checkpoints "
+            f"({machine.runtime.dirty_pages_written} dirty pages written)"
+        )
+
+
 def cmd_serve(args) -> None:
     from repro.serve import ReproServer
 
@@ -385,6 +431,27 @@ def main(argv=None) -> None:
     flt.add_argument("--no-cache", action="store_true", help="disable the calibration cache")
     flt.add_argument("--cache-dir", default=None, help="persist calibrations to this directory")
     flt.add_argument("--no-plan", action="store_true", help="skip the deployment-plan preview")
+    rsv = sub.add_parser("riscv", help="run an RV32IM workload intermittently", parents=[obs_parent])
+    rsv.add_argument("--workload", default="crc32",
+                     help="workload name (default crc32; see --list-workloads)")
+    rsv.add_argument("--list-workloads", action="store_true",
+                     help="print the available kernels and exit")
+    rsv.add_argument("--engine", default=None, choices=["fast", "legacy"],
+                     help="interpreter engine (default fast; REPRO_RISCV_ENGINE overrides)")
+    rsv.add_argument("--differential", action="store_true",
+                     help="dirty-page differential checkpoints instead of full images")
+    rsv.add_argument("--continuous", action="store_true",
+                     help="run on stable power instead of the harvested supply")
+    rsv.add_argument("--capacitance", type=float, default=47.0, metavar="UF",
+                     help="buffer capacitance in microfarads (default 47)")
+    rsv.add_argument("--clock", type=float, default=1e6, metavar="HZ",
+                     help="core clock (default 1 MHz)")
+    rsv.add_argument("--volatile-bytes", type=int, default=8 * 1024,
+                     help="checkpointed volatile footprint (default 8192)")
+    rsv.add_argument("--irradiance", type=float, default=5.0, metavar="SUN",
+                     help="constant irradiance level (default 5.0)")
+    rsv.add_argument("--duration", type=float, default=3600.0, metavar="S",
+                     help="max wall-clock seconds simulated (default 3600)")
     srv = sub.add_parser("serve", help="run the HTTP job service", parents=[obs_parent])
     srv.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
     srv.add_argument("--port", type=int, default=8733,
@@ -409,6 +476,7 @@ def main(argv=None) -> None:
             "monitor": cmd_monitor,
             "characterize": cmd_characterize,
             "fleet": cmd_fleet,
+            "riscv": cmd_riscv,
             "serve": cmd_serve,
         }[command](args)
         if metrics_on:

@@ -25,6 +25,11 @@ semantics guaranteed across 1.x releases (see ``docs/api.md``):
   routes through (:mod:`repro.exec`);
 * **design-space exploration** — :func:`explore_grid` and
   :func:`nsga2` over a :class:`PerformanceModel`;
+* **the ISA-level machine** — :class:`IntermittentMachine` /
+  :func:`run_workload` over the named :data:`WORKLOADS`, with
+  ``engine="fast"|"legacy"`` interpreter dispatch (``REPRO_RISCV_ENGINE``
+  env override, :func:`resolve_riscv_engine`) and opt-in
+  ``differential_checkpoints`` (``docs/performance.md``);
 * **the paper's evaluation** — :func:`run_experiments`;
 * **the job service** — :class:`ReproServer` / :class:`ServeClient`,
   the long-lived HTTP front door over all of the above
@@ -73,6 +78,10 @@ from repro.harvest.fast import FastIntermittentSimulator
 from repro.harvest.monitors import MonitorModel
 from repro.harvest.simulator import IntermittentSimulator, SimulationReport
 from repro.harvest.traces import IrradianceTrace
+from repro.riscv import WORKLOADS, IntermittentMachine, IntermittentRunResult, Workload, get_workload
+from repro.riscv.engine import ENGINE_ENV as RISCV_ENGINE_ENV
+from repro.riscv.engine import ENGINES as RISCV_ENGINES
+from repro.riscv.engine import resolve_engine as resolve_riscv_engine
 from repro.serve import ReproServer, ServeClient, ServeError, ServerThread
 from repro.spice.charlib import (
     CHARLIB_RTOL,
@@ -153,6 +162,31 @@ def nsga2(model_or_space, **kwargs) -> NSGA2Result:
     return NSGA2(model=model, **kwargs).run()
 
 
+def run_workload(
+    name: str,
+    *,
+    engine: Optional[str] = None,
+    differential_checkpoints: bool = False,
+    trace: Optional[IrradianceTrace] = None,
+    max_wall_time: float = 3600.0,
+    **machine_kwargs,
+) -> IntermittentRunResult:
+    """Assemble a named workload and run it intermittently.
+
+    ``name`` picks from :data:`WORKLOADS` (crc32, bitcount, fletcher,
+    sort, sense).  Remaining keyword arguments forward to
+    :class:`IntermittentMachine` (capacitance, clock_hz, policy, ...).
+    """
+    workload = get_workload(name)
+    machine = IntermittentMachine(
+        workload.assemble(),
+        engine=engine,
+        differential_checkpoints=differential_checkpoints,
+        **machine_kwargs,
+    )
+    return machine.run(trace=trace, max_wall_time=max_wall_time)
+
+
 def run_experiments(
     names: Optional[List[str]] = None,
     json_path: Optional[str] = None,
@@ -205,16 +239,22 @@ __all__ = [
     "FleetSpec",
     "FleetStreamResult",
     "GridResult",
+    "IntermittentMachine",
+    "IntermittentRunResult",
     "IntermittentSimulator",
     "NSGA2",
     "NSGA2Result",
     "PerformanceModel",
+    "RISCV_ENGINES",
+    "RISCV_ENGINE_ENV",
     "ReproServer",
     "Scenario",
     "ServeClient",
     "ServeError",
     "ServerThread",
     "SimulationReport",
+    "WORKLOADS",
+    "Workload",
     "compare_monitors",
     "evaluate_many",
     "explore_grid",
@@ -222,9 +262,12 @@ __all__ = [
     "normalized_app_time",
     "nsga2",
     "resolve_engine",
+    "resolve_riscv_engine",
+    "get_workload",
     "iter_synthesized_devices",
     "run_experiments",
     "run_fleet",
+    "run_workload",
     "stream_fleet",
     "synthesize_fleet",
 ]

@@ -15,7 +15,8 @@ from typing import Dict, List, Optional
 from repro.errors import CPUError, IllegalInstructionError
 from repro.riscv import csr as csrdef
 from repro.riscv.csr import CSRFile
-from repro.riscv.encoding import Decoded, decode, sign_extend, to_s32, to_u32, MASK32
+from repro.riscv.encoding import Decoded, sign_extend, to_s32, to_u32, MASK32
+from repro.riscv.engine import decode_for_step
 from repro.riscv.fs_device import FSDevice
 from repro.riscv.memory import MemoryMap, RAM_BASE
 
@@ -64,15 +65,17 @@ class CPU:
 
     def restore_state(self, state: CPUState) -> None:
         self.pc = state.pc
-        self.registers = list(state.registers)
+        # In-place so the fast engine's compiled closures (which bind
+        # the register list object) stay valid across restores.
+        self.registers[:] = state.registers
         self.csr.restore(state.csrs)
         self.halted = False
         self.waiting_for_interrupt = False
 
     def reset(self, pc: int = RAM_BASE) -> None:
         """Power-on reset: registers come up unknown (zeros here)."""
-        self.registers = [0] * 32
-        self.csr = CSRFile()
+        self.registers[:] = [0] * 32
+        self.csr.power_on_reset()
         self.pc = pc
         self.halted = False
         self.exit_code = 0
@@ -113,7 +116,7 @@ class CPU:
 
         word = self.memory.read(self.pc, 4)
         try:
-            insn = decode(word, self.pc)
+            insn = decode_for_step(word, self.pc)
         except IllegalInstructionError:
             self._trap(csrdef.CAUSE_ILLEGAL_INSTRUCTION, word)
             return

@@ -54,6 +54,12 @@ class CSRFile:
         # RV32IM.
         self._regs[MISA] = (1 << 30) | (1 << 8) | (1 << 12)
 
+    def power_on_reset(self) -> None:
+        """Zero every register in place (same values as a fresh file)."""
+        for addr in self._regs:
+            self._regs[addr] = 0
+        self._regs[MISA] = (1 << 30) | (1 << 8) | (1 << 12)
+
     # ------------------------------------------------------------------
     def read(self, address: int) -> int:
         if address not in self._regs:

@@ -18,13 +18,14 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.errors import SimulationError
+from repro.errors import CPUError, SimulationError
 from repro.harvest.capacitor import BufferCapacitor
 from repro.harvest.loads import MCULoad, MSP430FR5969, SYSTEM_LEAKAGE
 from repro.harvest.panel import SolarPanel
 from repro.harvest.traces import IrradianceTrace, constant_trace
 from repro.obs import OBS
 from repro.riscv.cpu import CPU
+from repro.riscv.engine import FastEngine, resolve_engine
 from repro.riscv.fs_device import FSDevice
 from repro.riscv.memory import MemoryMap, RAM_BASE
 from repro.riscv.runtime import CheckpointRuntime
@@ -81,6 +82,17 @@ class IntermittentMachine:
         the continuous and adaptive-timer alternatives; JIT-family
         policies power the system down after a checkpoint (the supply
         is dying), the others checkpoint and keep running.
+    engine:
+        Interpreter engine: ``"fast"`` (default; predecoded basic-block
+        cache, bit-identical results) or ``"legacy"`` (per-step
+        fetch/decode reference).  The ``REPRO_RISCV_ENGINE`` environment
+        variable overrides this argument process-wide.
+    differential_checkpoints:
+        When True the checkpoint runtime persists only dirty 256 B
+        pages (plus header and page table) instead of streaming the
+        full volatile image, charging FRAM cycles to bytes actually
+        written.  Default False keeps the paper's cost model
+        byte-for-byte.
     """
 
     def __init__(
@@ -97,6 +109,8 @@ class IntermittentMachine:
         volatile_bytes: int = 8 * 1024,
         leakage: float = SYSTEM_LEAKAGE,
         policy: Optional[CheckpointPolicy] = None,
+        engine: Optional[str] = None,
+        differential_checkpoints: bool = False,
     ):
         if v_min >= v_threshold or v_threshold >= v_on:
             raise SimulationError("need v_min < v_threshold < v_on")
@@ -116,11 +130,21 @@ class IntermittentMachine:
         self.run_current = self.mcu.core_current + self.fs_device.monitor.mean_current(3.0) + leakage
         self.memory = MemoryMap()
         self.cpu = CPU(self.memory, fs_device=self.fs_device)
-        self.runtime = CheckpointRuntime(self.cpu, volatile_bytes=volatile_bytes)
+        self.runtime = CheckpointRuntime(
+            self.cpu,
+            volatile_bytes=volatile_bytes,
+            differential=differential_checkpoints,
+        )
+        self.engine = resolve_engine(engine)
+        self._fast = FastEngine(self.cpu) if self.engine == "fast" else None
 
     # ------------------------------------------------------------------
-    def _boot(self) -> None:
-        """Cold boot: reload the image, restore or start fresh, arm FS."""
+    def _boot(self) -> bool:
+        """Cold boot: reload the image, restore or start fresh, arm FS.
+
+        Returns True when a checkpoint was actually restored (the
+        machine loop counts successful restores, not boot attempts).
+        """
         self.memory.power_failure()
         self.memory.load_program(self.program)
         self.cpu.reset()
@@ -137,6 +161,7 @@ class IntermittentMachine:
             threshold_count = 0
         self.fs_device.insn_fsen(threshold_count)
         self.policy.on_boot()
+        return restored
 
     # ------------------------------------------------------------------
     def run(
@@ -147,11 +172,16 @@ class IntermittentMachine:
     ) -> IntermittentRunResult:
         """Execute the program across power cycles until it halts."""
         trace = trace or constant_trace(5.0, max_wall_time)
+        fast = self._fast
+        blocks_before = fast.blocks_compiled if fast is not None else 0
+        hits_before = fast.block_hits if fast is not None else 0
+        dirty_before = self.runtime.dirty_pages_written
         with OBS.tracer.span(
             "riscv.run",
             policy=type(self.policy).__name__,
             clock_hz=self.clock_hz,
             v_threshold=self.v_threshold,
+            engine=self.engine,
         ) as span:
             result = self._run_traced(trace, max_wall_time, max_instructions)
             span.set(
@@ -168,6 +198,17 @@ class IntermittentMachine:
             OBS.metrics.incr("riscv.checkpoints", result.checkpoints)
             OBS.metrics.incr("riscv.power_failures", result.power_failures)
             OBS.metrics.observe("riscv.wall_time", result.wall_time)
+            if fast is not None:
+                OBS.metrics.incr(
+                    "riscv.blocks_compiled", fast.blocks_compiled - blocks_before
+                )
+                OBS.metrics.incr(
+                    "riscv.decode_cache_hits", fast.block_hits - hits_before
+                )
+            OBS.metrics.incr(
+                "riscv.dirty_pages",
+                self.runtime.dirty_pages_written - dirty_before,
+            )
         return result
 
     def _run_traced(
@@ -196,8 +237,7 @@ class IntermittentMachine:
                 break
 
             result.power_cycles += 1
-            self._boot()
-            if self.runtime.restores_done and result.power_cycles > 1:
+            if self._boot():
                 result.restores += 1
             # Pay the restore cost in time and charge.
             restore_time = self.runtime.restore_cycles() / self.clock_hz
@@ -214,10 +254,13 @@ class IntermittentMachine:
             time_of_last_ckpt = t
             while not self.cpu.halted:
                 before = self.cpu.instructions_retired
-                for _ in range(quantum):
-                    self.cpu.step()
-                    if self.cpu.halted:
-                        break
+                if self._fast is not None:
+                    self._fast.run(quantum)
+                else:
+                    for _ in range(quantum):
+                        self.cpu.step()
+                        if self.cpu.halted:
+                            break
                 executed = self.cpu.instructions_retired - before
                 dt = executed / self.clock_hz if executed else self.fs_device.sample_period
                 p_in = self.panel.electrical_power(trace.at(t))
@@ -234,6 +277,7 @@ class IntermittentMachine:
                     time_since_power_on=t - boot_time,
                     time_since_checkpoint=t - time_of_last_ckpt,
                     fs_device=self.fs_device,
+                    dirty_bytes=self.memory.dirty_bytes(self.volatile_bytes),
                 )
 
                 if cap.voltage < self.v_min:
@@ -298,7 +342,14 @@ class IntermittentMachine:
         self.memory.load_program(self.program)
         self.cpu.reset()
         self.runtime.invalidate()
-        executed = self.cpu.run(max_instructions=max_instructions)
+        if self._fast is not None:
+            executed = 0
+            while not self.cpu.halted and executed < max_instructions:
+                executed += self._fast.run(max_instructions - executed)
+            if not self.cpu.halted and executed >= max_instructions:
+                raise CPUError(f"instruction budget ({max_instructions}) exhausted")
+        else:
+            executed = self.cpu.run(max_instructions=max_instructions)
         return IntermittentRunResult(
             completed=self.cpu.halted,
             exit_code=self.cpu.exit_code,

@@ -27,6 +27,11 @@ MMIO_SIZE = 0x1000
 #: Console transmit register (write a byte, it appears on the log).
 CONSOLE_TX = MMIO_BASE + 0x0
 
+#: Dirty-tracking granularity: 256 B pages (2^8), the unit the
+#: differential checkpoint mode persists.
+PAGE_SHIFT = 8
+PAGE_SIZE = 1 << PAGE_SHIFT
+
 
 class Region:
     """A flat byte-addressable memory region."""
@@ -104,6 +109,18 @@ class MemoryMap:
             (MMIO_BASE, 0x10, self.console),
         ]
         self.nvm_bytes_written = 0  # drives checkpoint timing models
+        self._n_pages = (ram_size + PAGE_SIZE - 1) >> PAGE_SHIFT
+        #: Page bitmap: 1 = the RAM page was stored to since the last
+        #: checkpoint/restore cleared it (feeds differential checkpoints
+        #: and ``PolicyView.dirty_bytes``).
+        self.dirty_pages = bytearray(self._n_pages)
+        #: Page bitmap owned by the fast engine: 1 = a compiled block
+        #: covers this page, so a store here must invalidate the cache.
+        self.code_pages = bytearray(self._n_pages)
+        #: Bumped on every bulk RAM mutation (image load, power failure,
+        #: restore) and on stores hitting a code page; the fast engine
+        #: drops its block cache when the version moves.
+        self.ram_image_version = 0
 
     # ------------------------------------------------------------------
     def attach(self, base: int, size: int, device: MMIODevice) -> None:
@@ -143,6 +160,11 @@ class MemoryMap:
         if region is not None:
             if region is self.nvm:
                 self.nvm_bytes_written += width
+            else:
+                page = (address - region.base) >> PAGE_SHIFT
+                self.dirty_pages[page] = 1
+                if self.code_pages[page]:
+                    self.ram_image_version += 1
             region.write(address, value, width)
             return
         for base, size, device in self._mmio:
@@ -152,15 +174,70 @@ class MemoryMap:
         raise MemoryAccessError(address)
 
     # ------------------------------------------------------------------
+    # Bulk image loads — slice assignment straight into the region.
+    # Image loads model programming the device, not runtime stores, so
+    # they bypass MMIO routing and never count toward
+    # ``nvm_bytes_written`` (which drives the checkpoint cost model).
+    # ------------------------------------------------------------------
     def load_program(self, words: List[int], base: int = RAM_BASE) -> None:
         """Place assembled instruction words into memory."""
-        for i, word in enumerate(words):
-            self.write(base + 4 * i, word, 4)
+        if base % 4:
+            raise MemoryAccessError(base, "misaligned write")
+        self.load_bytes(struct.pack(f"<{len(words)}I", *words), base)
 
     def load_bytes(self, blob: bytes, base: int) -> None:
-        for i, b in enumerate(blob):
-            self.write(base + i, b, 1)
+        if not blob:
+            return
+        region = self._route(base)
+        if region is None or not region.contains(base + len(blob) - 1):
+            # MMIO or unmapped target: keep the routed per-byte path so
+            # the exact legacy access errors (or device side effects)
+            # still happen.
+            for i, b in enumerate(blob):
+                self.write(base + i, b, 1)
+            return
+        offset = base - region.base
+        region.data[offset : offset + len(blob)] = blob
+        if region is self.ram:
+            self._mark_dirty_span(offset, len(blob))
+            self.ram_image_version += 1
 
     def power_failure(self) -> None:
         """Volatile state vanishes; NVM persists."""
         self.ram.clear()
+        self.dirty_pages[:] = b"\x01" * self._n_pages
+        self.ram_image_version += 1
+
+    # ------------------------------------------------------------------
+    # Dirty-page bookkeeping (256 B granularity on the RAM region)
+    # ------------------------------------------------------------------
+    def _mark_dirty_span(self, offset: int, length: int) -> None:
+        first = offset >> PAGE_SHIFT
+        last = (offset + length - 1) >> PAGE_SHIFT
+        self.dirty_pages[first : last + 1] = b"\x01" * (last - first + 1)
+
+    def write_ram_image(self, blob: bytes, offset: int = 0) -> None:
+        """Restore a checkpointed RAM image (bulk, cache-invalidating)."""
+        self.ram.data[offset : offset + len(blob)] = blob
+        self.ram_image_version += 1
+
+    def clear_dirty(self, nbytes: int) -> None:
+        """Mark the first ``nbytes`` of RAM clean (checkpoint/restore)."""
+        pages = (nbytes + PAGE_SIZE - 1) >> PAGE_SHIFT
+        self.dirty_pages[:pages] = bytes(pages)
+
+    def dirty_page_list(self, nbytes: int) -> List[int]:
+        """Indices of dirty pages within the first ``nbytes`` of RAM."""
+        pages = (nbytes + PAGE_SIZE - 1) >> PAGE_SHIFT
+        bitmap = self.dirty_pages
+        return [p for p in range(pages) if bitmap[p]]
+
+    def dirty_bytes(self, nbytes: int) -> int:
+        """Page-granular dirty byte count within the first ``nbytes``."""
+        pages = (nbytes + PAGE_SIZE - 1) >> PAGE_SHIFT
+        count = self.dirty_pages[:pages].count(1)
+        total = count * PAGE_SIZE
+        # The final page may be partial when nbytes isn't page-aligned.
+        if nbytes & (PAGE_SIZE - 1) and self.dirty_pages[pages - 1]:
+            total -= PAGE_SIZE - (nbytes & (PAGE_SIZE - 1))
+        return total

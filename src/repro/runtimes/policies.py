@@ -44,6 +44,11 @@ class PolicyView:
     time_since_power_on: float
     time_since_checkpoint: float
     fs_device: Optional[object] = None  # FSDevice, if present
+    #: Page-granular count of volatile bytes dirtied since the last
+    #: checkpoint — what a differential checkpoint would have to write.
+    #: Energy-aware policies (DiCA-style) can weigh checkpoint cost
+    #: against remaining energy with this.
+    dirty_bytes: int = 0
 
     def fs_interrupt_pending(self) -> bool:
         return self.fs_device is not None and self.fs_device.irq_pending

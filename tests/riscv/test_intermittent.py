@@ -111,3 +111,52 @@ class TestValidation:
         machine = IntermittentMachine(program)
         result = machine.run(constant_trace(0.0, 5.0), max_wall_time=5.0)
         assert "DID NOT FINISH" in result.summary()
+
+
+class TestRestoreCounting:
+    def test_failed_restores_not_counted(self, program, monkeypatch):
+        """A boot whose restore fails must not bump ``result.restores``.
+
+        The old code keyed on the cumulative ``runtime.restores_done``
+        counter, so once any restore had ever succeeded every later
+        boot was counted as restored — even when that boot's restore
+        returned False.
+        """
+        machine = IntermittentMachine(program, capacitance=10e-6)
+        machine.runtime.restores_done = 5  # stale counter from earlier runs
+        monkeypatch.setattr(machine.runtime, "restore", lambda: False)
+        result = machine.run(constant_trace(1.0, 120.0), max_wall_time=120.0)
+        assert result.power_cycles > 1
+        assert result.restores == 0
+
+    def test_successful_restores_counted_once_each(self, program):
+        machine = IntermittentMachine(program, capacitance=10e-6)
+        result = machine.run(constant_trace(1.0, 7200.0), max_wall_time=7200.0)
+        assert result.completed
+        # Cycle 1 cold-boots with no checkpoint; every later boot
+        # restores exactly once.
+        assert result.restores == result.power_cycles - 1
+        assert machine.runtime.restores_done == result.restores
+
+
+class TestDifferentialMachine:
+    def test_differential_machine_same_program_semantics(self, program, reference):
+        machine = IntermittentMachine(
+            program, capacitance=10e-6, differential_checkpoints=True
+        )
+        result = machine.run(constant_trace(1.0, 7200.0), max_wall_time=7200.0)
+        assert result.completed
+        assert result.exit_code == reference.exit_code
+        assert result.power_cycles >= 2
+        assert machine.runtime.dirty_pages_written > 0
+
+    def test_differential_checkpoints_cheaper(self, program):
+        totals = {}
+        for differential in (False, True):
+            machine = IntermittentMachine(
+                program, capacitance=10e-6, differential_checkpoints=differential
+            )
+            result = machine.run(constant_trace(1.0, 7200.0), max_wall_time=7200.0)
+            assert result.completed and result.checkpoints > 0
+            totals[differential] = result.checkpoint_time / result.checkpoints
+        assert totals[True] < totals[False]

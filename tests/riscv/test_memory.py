@@ -111,3 +111,54 @@ class TestProgramLoading:
         m.load_bytes(b"\x01\x02", RAM_BASE + 16)
         assert m.read(RAM_BASE + 16, 1) == 1
         assert m.read(RAM_BASE + 17, 1) == 2
+
+
+class TestBulkLoadAccounting:
+    """Image loads model device programming, not runtime NVM writes."""
+
+    def test_load_bytes_to_nvm_exempt_from_write_counter(self):
+        m = MemoryMap()
+        m.load_bytes(b"\xAA" * 512, NVM_BASE)
+        assert m.nvm_bytes_written == 0
+        assert m.read(NVM_BASE, 1) == 0xAA
+
+    def test_load_program_to_nvm_exempt_from_write_counter(self):
+        m = MemoryMap()
+        m.load_program([0xDEADBEEF, 0x12345678], base=NVM_BASE)
+        assert m.nvm_bytes_written == 0
+        assert m.read(NVM_BASE, 4) == 0xDEADBEEF
+        assert m.read(NVM_BASE + 4, 4) == 0x12345678
+
+    def test_cpu_path_nvm_writes_still_counted(self):
+        m = MemoryMap()
+        m.load_bytes(b"\x01" * 64, NVM_BASE)
+        m.write(NVM_BASE + 8, 0xFF, 1)
+        assert m.nvm_bytes_written == 1
+
+
+class TestDirtyPageTracking:
+    def test_stores_mark_256b_pages(self):
+        m = MemoryMap()
+        assert m.dirty_bytes(8192) == 0
+        m.write(RAM_BASE + 0x100, 7, 4)   # page 1
+        m.write(RAM_BASE + 0x1001, 9, 1)  # page 16
+        assert m.dirty_page_list(8192) == [1, 16]
+        assert m.dirty_bytes(8192) == 512
+
+    def test_clear_dirty_resets_tracked_range(self):
+        m = MemoryMap()
+        m.write(RAM_BASE, 1, 4)
+        m.clear_dirty(8192)
+        assert m.dirty_bytes(8192) == 0
+
+    def test_power_failure_marks_everything(self):
+        m = MemoryMap()
+        m.power_failure()
+        assert m.dirty_bytes(8192) == 8192
+
+    def test_bulk_load_marks_pages_and_bumps_version(self):
+        m = MemoryMap()
+        before = m.ram_image_version
+        m.load_bytes(b"\x55" * 300, RAM_BASE)
+        assert m.ram_image_version > before
+        assert m.dirty_page_list(8192) == [0, 1]

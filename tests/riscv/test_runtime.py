@@ -118,3 +118,72 @@ class TestValidation:
         cpu = make_cpu()
         with pytest.raises(SimulationError):
             CheckpointRuntime(cpu, volatile_bytes=0)
+
+
+class TestDifferentialCheckpoints:
+    def _run_to_halt(self, cpu):
+        while not cpu.halted:
+            cpu.step()
+
+    def test_first_differential_checkpoint_is_full(self):
+        cpu = make_cpu()
+        runtime = CheckpointRuntime(cpu, volatile_bytes=4096, differential=True)
+        self._run_to_halt(cpu)
+        record = runtime.checkpoint()
+        # No valid base image yet: must stream header + whole footprint.
+        assert record.bytes_written == 160 + 4096
+
+    def test_incremental_checkpoint_writes_only_dirty_pages(self):
+        cpu = make_cpu()
+        runtime = CheckpointRuntime(cpu, volatile_bytes=4096, differential=True)
+        self._run_to_halt(cpu)
+        runtime.checkpoint()
+        before = cpu.memory.nvm_bytes_written
+        # Dirty exactly one 256 B page.
+        cpu.memory.write(RAM_BASE + 0x200, 0xBEEF, 4)
+        record = runtime.checkpoint()
+        # Header + one page + one page-table word.
+        assert record.bytes_written == 160 + 256 + 4
+        assert cpu.memory.nvm_bytes_written - before == record.bytes_written
+        assert record.cycles == record.bytes_written / FRAM_BYTES_PER_CYCLE
+
+    def test_differential_restore_bit_equal_to_full(self):
+        states = {}
+        for differential in (False, True):
+            cpu = make_cpu()
+            runtime = CheckpointRuntime(
+                cpu, volatile_bytes=4096, differential=differential
+            )
+            self._run_to_halt(cpu)
+            runtime.checkpoint()
+            cpu.memory.write(RAM_BASE + 0x300, 0x1234, 4)
+            cpu.registers[5] = 777
+            runtime.checkpoint()
+            cpu.memory.power_failure()
+            cpu.reset()
+            assert runtime.restore()
+            states[differential] = (
+                cpu.pc,
+                tuple(cpu.registers),
+                bytes(cpu.memory.ram.data[:4096]),
+                dict(cpu.csr.snapshot()),
+            )
+        assert states[True] == states[False]
+
+    def test_invalidate_forces_full_image_again(self):
+        cpu = make_cpu()
+        runtime = CheckpointRuntime(cpu, volatile_bytes=4096, differential=True)
+        self._run_to_halt(cpu)
+        runtime.checkpoint()
+        runtime.invalidate()
+        record = runtime.checkpoint()
+        assert record.bytes_written == 160 + 4096
+
+    def test_full_mode_cost_model_unchanged(self):
+        cpu = make_cpu()
+        runtime = CheckpointRuntime(cpu, volatile_bytes=8192)
+        self._run_to_halt(cpu)
+        first = runtime.checkpoint()
+        second = runtime.checkpoint()  # nothing dirtied in between
+        assert first.bytes_written == second.bytes_written == 160 + 8192
+        assert second.duration(1e6) == pytest.approx(8.352e-3)
