@@ -98,3 +98,70 @@ def test_stream_end_to_end(benchmark, results_dir):
         ]
     )
     (results_dir / "fleet_stream.txt").write_text(text + "\n", encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Record-mode overhead (docs/replay.md)
+# ----------------------------------------------------------------------
+RECORD_OVERHEAD_BUDGET = 0.05  # fraction of unrecorded wall time
+
+_OVERHEAD_DEVICES = 96
+_OVERHEAD_ROUNDS = 3  # best-of, to shed scheduler noise
+
+
+def _stream_elapsed(cache, record_path=None):
+    """One streaming run, optionally recorded straight to disk (the
+    ``keep_events=False`` mode a 10^7-device capture would use)."""
+    import time
+
+    from repro.fleet import iter_synthesized_devices, stream_fleet
+    from repro.trace import TraceRecorder
+
+    recorder = (
+        TraceRecorder(path=record_path, keep_events=False) if record_path else None
+    )
+    devices = iter_synthesized_devices(_OVERHEAD_DEVICES, seed=7, duration=30.0)
+    start = time.perf_counter()
+    stream_fleet(
+        devices,
+        name="overhead-bench",
+        parallel=1,
+        shard_size=32,
+        cache=cache,
+        record=recorder,
+    )
+    return time.perf_counter() - start
+
+
+def test_record_overhead_under_5pct(results_dir, tmp_path):
+    """``record=`` must stay a rounding error on top of simulation."""
+    from repro.fleet import CalibrationCache
+    from repro.trace import Recording
+
+    cache = CalibrationCache()
+    _stream_elapsed(cache)  # warm the calibration cache + JITs
+
+    plain = min(_stream_elapsed(cache) for _ in range(_OVERHEAD_ROUNDS))
+    path = str(tmp_path / "overhead.jsonl")
+    recorded = min(
+        _stream_elapsed(cache, record_path=path) for _ in range(_OVERHEAD_ROUNDS)
+    )
+    overhead = recorded / plain - 1.0
+
+    # The capture really happened and is loadable.
+    recording = Recording.load(path)
+    assert sum(e.kind == "device" for e in recording.events) == _OVERHEAD_DEVICES
+
+    (results_dir / "replay_overhead.txt").write_text(
+        f"record-mode overhead on stream_fleet ({_OVERHEAD_DEVICES} devices, "
+        f"best of {_OVERHEAD_ROUNDS})\n"
+        f"  unrecorded : {plain:.4f} s\n"
+        f"  recorded   : {recorded:.4f} s (streaming JSONL, keep_events=False)\n"
+        f"  overhead   : {overhead * 100:+.2f}% (budget {RECORD_OVERHEAD_BUDGET:.0%})\n"
+        f"  events     : {len(recording.events)}\n",
+        encoding="utf-8",
+    )
+    assert overhead < RECORD_OVERHEAD_BUDGET, (
+        f"record= overhead {overhead * 100:.2f}% exceeds the "
+        f"{RECORD_OVERHEAD_BUDGET:.0%} budget ({plain:.4f}s -> {recorded:.4f}s)"
+    )

@@ -38,7 +38,7 @@ from repro.errors import ReproError
 
 #: Single source of truth for the package version; ``pyproject.toml``
 #: reads it via ``[tool.setuptools.dynamic]`` and CI checks they agree.
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 #: Names forwarded lazily from :mod:`repro.api` (PEP 562): the facade
 #: pulls in the harvest/dse/fleet/batch stack, which a bare
@@ -68,6 +68,10 @@ _API_EXPORTS = (
     "TaskError",
     "ReproServer",
     "ServeClient",
+    "TraceRecorder",
+    "Recording",
+    "replay",
+    "diff_recordings",
 )
 
 __all__ = [

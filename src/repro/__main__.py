@@ -27,7 +27,14 @@ Subcommands:
   (``docs/performance.md``);
 * ``serve [--host H] [--port P] [--workers N] [--queue-depth D]`` —
   run the long-lived HTTP job service (:mod:`repro.serve`,
-  ``docs/serving.md``) until Ctrl-C.
+  ``docs/serving.md``) until Ctrl-C;
+* ``replay TRACE [--diff OTHER] [--device ID]`` — re-execute a
+  recording written by ``--record`` and assert byte-identity, or name
+  the first divergent event between two recordings
+  (``docs/replay.md``).
+
+``fleet`` and ``riscv`` accept ``--record PATH`` to capture the run as
+a deterministic replay trace (``.gz`` transparently compressed).
 
 ``--version``/``-V`` prints the package version and exits.  Every
 subcommand accepts the observability flags ``--trace PATH`` (write a
@@ -131,6 +138,13 @@ def cmd_fleet(args) -> None:
     from repro.fleet import CalibrationCache, FleetRunner, synthesize_fleet
 
     cache = CalibrationCache(enabled=not args.no_cache, cache_dir=args.cache_dir)
+    recorder = None
+    if args.record:
+        from repro.trace import TraceRecorder
+
+        # Stream to disk without keeping events in memory so --record
+        # composes with million-device --stream runs.
+        recorder = TraceRecorder(path=args.record, keep_events=False)
     if args.stream:
         # Sharded constant-memory mode: devices are generated lazily, so
         # a million-device fleet never exists as a list anywhere.
@@ -153,7 +167,10 @@ def cmd_fleet(args) -> None:
             sample=args.sample,
             sample_seed=args.sample_seed,
             capacity=args.reservoir,
+            record=recorder,
         )
+        if recorder is not None:
+            print(f"(wrote the replay trace to {args.record})")
         print(result.report.render())
         print(
             f"({result.devices_simulated}/{result.devices_seen} devices in "
@@ -179,7 +196,9 @@ def cmd_fleet(args) -> None:
     runner = FleetRunner(
         fleet, parallel=args.jobs, cache=cache, eval_engine=args.eval_engine
     )
-    result = runner.run()
+    result = runner.run(record=recorder)
+    if recorder is not None:
+        print(f"(wrote the replay trace to {args.record})")
     print(result.report.render())
     print(
         f"({len(fleet)} devices in {result.elapsed:.2f}s, jobs={result.jobs}, "
@@ -278,11 +297,25 @@ def cmd_riscv(args) -> None:
         engine=args.engine,
         differential_checkpoints=args.differential,
     )
+    recorder = None
+    if args.record:
+        if args.continuous:
+            raise ConfigurationError(
+                "--record captures the intermittent run loop; it does not "
+                "compose with --continuous"
+            )
+        from repro.trace import TraceRecorder
+
+        recorder = TraceRecorder(path=args.record, keep_events=False)
     if args.continuous:
         result = machine.run_continuous()
     else:
         trace = constant_trace(args.irradiance, args.duration)
-        result = machine.run(trace=trace, max_wall_time=args.duration)
+        result = machine.run(
+            trace=trace, max_wall_time=args.duration, record=recorder
+        )
+        if recorder is not None:
+            print(f"(wrote the replay trace to {args.record})")
     mode = "differential" if args.differential else "full-image"
     print(f"{workload.name} [{machine.engine} engine, {mode} checkpoints]")
     print(f"  {result.summary()}")
@@ -320,6 +353,37 @@ def cmd_serve(args) -> None:
             flush=True,
         )
     )
+
+
+def cmd_replay(args) -> None:
+    from repro.trace import Recording, diff_recordings, replay
+
+    if args.diff:
+        left = Recording.load(args.trace)
+        right = Recording.load(args.diff)
+        diff = diff_recordings(left, right)
+        if args.json:
+            import json
+
+            print(json.dumps(diff.to_dict(), indent=2))
+        else:
+            print(diff.render())
+        if not diff.identical:
+            raise SystemExit(1)
+        return
+    outcome = replay(
+        args.trace,
+        device=args.device,
+        check=False,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(outcome.diff.to_dict(), indent=2))
+    else:
+        print(outcome.render())
+    if not outcome.identical:
+        raise SystemExit(1)
 
 
 def cmd_monitor(args) -> None:
@@ -428,6 +492,9 @@ def main(argv=None) -> None:
                      help="seed for the stratified device sampler (default 0)")
     flt.add_argument("--reservoir", type=int, default=4096, metavar="K",
                      help="percentile reservoir capacity in --stream mode (default 4096)")
+    flt.add_argument("--record", metavar="PATH", default=None,
+                     help="capture the run as a deterministic replay trace "
+                          "(JSONL, .gz ok; see `replay` and docs/replay.md)")
     flt.add_argument("--no-cache", action="store_true", help="disable the calibration cache")
     flt.add_argument("--cache-dir", default=None, help="persist calibrations to this directory")
     flt.add_argument("--no-plan", action="store_true", help="skip the deployment-plan preview")
@@ -452,6 +519,21 @@ def main(argv=None) -> None:
                      help="constant irradiance level (default 5.0)")
     rsv.add_argument("--duration", type=float, default=3600.0, metavar="S",
                      help="max wall-clock seconds simulated (default 3600)")
+    rsv.add_argument("--record", metavar="PATH", default=None,
+                     help="capture the run as a deterministic replay trace "
+                          "(JSONL, .gz ok; see `replay` and docs/replay.md)")
+    rpl = sub.add_parser(
+        "replay", help="re-execute a recorded trace, assert byte-identity",
+        parents=[obs_parent],
+    )
+    rpl.add_argument("trace", help="recording written by --record (JSONL, .gz ok)")
+    rpl.add_argument("--diff", metavar="OTHER", default=None,
+                     help="diff against another recording instead of re-executing; "
+                          "reports the first divergent event")
+    rpl.add_argument("--device", type=int, default=None, metavar="ID",
+                     help="replay one device of a fleet recording in isolation")
+    rpl.add_argument("--json", action="store_true",
+                     help="print the diff as JSON instead of prose")
     srv = sub.add_parser("serve", help="run the HTTP job service", parents=[obs_parent])
     srv.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
     srv.add_argument("--port", type=int, default=8733,
@@ -477,6 +559,7 @@ def main(argv=None) -> None:
             "characterize": cmd_characterize,
             "fleet": cmd_fleet,
             "riscv": cmd_riscv,
+            "replay": cmd_replay,
             "serve": cmd_serve,
         }[command](args)
         if metrics_on:

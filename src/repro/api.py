@@ -98,6 +98,17 @@ from repro.spice.surrogate import (
     fit_surrogate,
     fit_variation_family,
 )
+from repro.trace import (
+    Recording,
+    ReplayMismatch,
+    ReplayResult,
+    TraceDiff,
+    TraceEvent,
+    TraceHeader,
+    TraceRecorder,
+    diff_recordings,
+    replay,
+)
 
 #: Grid exploration under its blessed name (``grid_explore`` remains an
 #: alias for pre-1.1 imports).
@@ -247,20 +258,29 @@ __all__ = [
     "PerformanceModel",
     "RISCV_ENGINES",
     "RISCV_ENGINE_ENV",
+    "Recording",
+    "ReplayMismatch",
+    "ReplayResult",
     "ReproServer",
     "Scenario",
     "ServeClient",
     "ServeError",
     "ServerThread",
     "SimulationReport",
+    "TraceDiff",
+    "TraceEvent",
+    "TraceHeader",
+    "TraceRecorder",
     "WORKLOADS",
     "Workload",
     "compare_monitors",
+    "diff_recordings",
     "evaluate_many",
     "explore_grid",
     "grid_explore",
     "normalized_app_time",
     "nsga2",
+    "replay",
     "resolve_engine",
     "resolve_riscv_engine",
     "get_workload",

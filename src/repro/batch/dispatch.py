@@ -32,6 +32,7 @@ from repro.errors import ConfigurationError
 from repro.exec import resolve_workers, run_tasks
 from repro.obs import OBS
 from repro.batch.scenario import Scenario
+from repro.trace.recorder import LaneSink
 
 try:  # numpy is an optional runtime dependency; scalar is the fallback
     from repro.batch.engine import BatchHarvestEngine
@@ -81,6 +82,7 @@ def evaluate_many(
     engine: str = "auto",
     parallel: Optional[int] = None,
     model=None,
+    record=None,
 ) -> List:
     """Evaluate many scenarios (or design points) through one front door.
 
@@ -88,11 +90,20 @@ def evaluate_many(
     :class:`~repro.harvest.simulator.SimulationReport` per harvest
     :class:`Scenario`, or an :class:`~repro.dse.objectives.Evaluation`
     per :class:`~repro.dse.space.DesignPoint` when ``model`` is given.
+
+    ``record`` is the :mod:`repro.trace` seam: the whole evaluation
+    becomes one ``batch`` recording — header carries every scenario's
+    payload and the resolved engine, events carry per-lane transitions
+    (lane = input position), the result carries every report.
+    Recording runs serially (``parallel`` is ignored) so the event
+    stream has one deterministic order.
     """
     items = list(scenarios)
     if engine not in ENGINES:
         raise ConfigurationError(f"unknown engine {engine!r}; choose from {ENGINES}")
     if model is not None:
+        if record is not None:
+            raise ConfigurationError("record= covers harvest scenarios, not model=")
         if engine == "scalar":
             return [model.evaluate(point) for point in items]
         return model.evaluate_many(items)
@@ -105,6 +116,18 @@ def evaluate_many(
             )
     if not items:
         return []
+
+    if record is not None:
+        resolved = resolve_engine(items, engine)
+        # Scenarios are fully declarative (the policy margin is a field,
+        # applied by build_simulator), so the scenario payloads alone
+        # rebuild every lane's platform bit-identically on replay.
+        record.begin(
+            "batch",
+            resolved,
+            {"scenarios": [s.to_dict() for s in items], "engine": engine},
+        )
+        parallel = None
 
     if parallel is not None and parallel > 1 and len(items) > 1:
         jobs = resolve_workers(parallel, len(items))
@@ -122,7 +145,14 @@ def evaluate_many(
 
     resolved = resolve_engine(items, engine)
     if resolved == "scalar":
-        return [scenario.run_scalar() for scenario in items]
+        if record is None:
+            return [scenario.run_scalar() for scenario in items]
+        results = [
+            scenario.run_scalar(record=LaneSink(record, i))
+            for i, scenario in enumerate(items)
+        ]
+        record.finish({"reports": [r.to_dict() for r in results]})
+        return results
 
     # Batch path: fast-engine lanes through the kernel, any
     # reference-engine scenarios (engine="auto" only) through scalar,
@@ -134,12 +164,16 @@ def evaluate_many(
     with OBS.tracer.span(
         "batch.evaluate_many", scenarios=len(items), engine="batch", lanes=len(batch_idx)
     ) as span:
-        reports = kernel.run([items[i] for i in batch_idx])
+        reports = kernel.run(
+            [items[i] for i in batch_idx], record=record, lanes=batch_idx
+        )
         span.set(iterations=kernel.last_iterations)
         for i, report in zip(batch_idx, reports):
             results[i] = report
         for i in scalar_idx:
-            results[i] = items[i].run_scalar()
+            results[i] = items[i].run_scalar(
+                record=None if record is None else LaneSink(record, i)
+            )
     metrics = OBS.metrics
     if metrics.enabled and reports:
         # The scalar path's instrumented run() keeps these aggregates;
@@ -154,4 +188,6 @@ def evaluate_many(
         metrics.incr("batch.runs")
         metrics.incr("batch.lanes", len(reports))
         metrics.incr("batch.iterations", kernel.last_iterations)
+    if record is not None:
+        record.finish({"reports": [r.to_dict() for r in results]})
     return results

@@ -14,8 +14,8 @@ scenario through it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.harvest.checkpoint import CheckpointModel
@@ -108,6 +108,60 @@ class Scenario:
         )
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready payload; inverse of :meth:`from_dict`.
+
+        Every platform component is a flat frozen dataclass, so the
+        payload is their field dicts verbatim (the ideal monitor's
+        infinite sample rate rides the stdlib ``Infinity`` policy).
+        This is the config unit :mod:`repro.trace` headers embed for
+        harvest and batch recordings: a scenario rebuilt from it
+        replays bit-identically.
+        """
+        return {
+            "monitor": asdict(self.monitor),
+            "trace": None
+            if self.trace is None
+            else {"dt": self.trace.dt, "values": list(self.trace.values)},
+            "panel": asdict(self.panel),
+            "capacitance": self.capacitance,
+            "dt": self.dt,
+            "v_initial": self.v_initial,
+            "v_ckpt_margin": self.v_ckpt_margin,
+            "scalar_engine": self.scalar_engine,
+            "mcu": asdict(self.mcu),
+            "peripherals": [asdict(p) for p in self.peripherals],
+            "checkpoint": asdict(self.checkpoint),
+            "v_on": self.v_on,
+            "leakage": self.leakage,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Scenario":
+        trace = data.get("trace")
+        return cls(
+            monitor=MonitorModel(**data["monitor"]),
+            trace=None
+            if trace is None
+            else IrradianceTrace(dt=trace["dt"], values=list(trace["values"])),
+            panel=SolarPanel(**data["panel"]) if "panel" in data else SolarPanel(),
+            capacitance=data.get("capacitance", 47e-6),
+            dt=data.get("dt", 1e-3),
+            v_initial=data.get("v_initial", 0.0),
+            v_ckpt_margin=data.get("v_ckpt_margin", 0.0),
+            scalar_engine=data.get("scalar_engine", "fast"),
+            mcu=MCULoad(**data["mcu"]) if "mcu" in data else MSP430FR5969,
+            peripherals=tuple(PeripheralLoad(**p) for p in data["peripherals"])
+            if "peripherals" in data
+            else (ADXL362,),
+            checkpoint=CheckpointModel(**data["checkpoint"])
+            if "checkpoint" in data
+            else CheckpointModel(),
+            v_on=data.get("v_on", DEFAULT_V_ON),
+            leakage=data.get("leakage", SYSTEM_LEAKAGE),
+        )
+
+    # ------------------------------------------------------------------
     def build_simulator(self, engine: Optional[str] = None) -> IntermittentSimulator:
         """The scalar simulator this scenario describes (margin applied)."""
         name = engine or self.scalar_engine
@@ -129,8 +183,15 @@ class Scenario:
         apply_policy_margin(simulator, self.v_ckpt_margin)
         return simulator
 
-    def run_scalar(self) -> SimulationReport:
-        """Replay the scenario through its scalar reference engine."""
+    def run_scalar(self, record=None) -> SimulationReport:
+        """Replay the scenario through its scalar reference engine.
+
+        ``record`` forwards to the simulator's :mod:`repro.trace` seam
+        (a :class:`~repro.trace.LaneSink` when the batch dispatcher is
+        recording many scenarios into one stream).
+        """
         if self.trace is None:
             raise ConfigurationError("scenario has no trace to replay")
-        return self.build_simulator().run(self.trace, dt=self.dt, v_initial=self.v_initial)
+        return self.build_simulator().run(
+            self.trace, dt=self.dt, v_initial=self.v_initial, record=record
+        )

@@ -42,6 +42,7 @@ from repro.harvest.monitors import MonitorModel
 from repro.harvest.panel import SolarPanel
 from repro.harvest.simulator import IntermittentSimulator
 from repro.obs import OBS
+from repro.trace.format import payload_digest
 
 _ENGINES = {
     "fast": FastIntermittentSimulator,
@@ -199,7 +200,17 @@ class FleetRunner:
             for device in self.fleet.devices
         ]
 
-    def run(self) -> FleetRunResult:
+    def run(self, record=None) -> FleetRunResult:
+        """Execute the fleet.
+
+        ``record`` is the :mod:`repro.trace` seam: the run becomes one
+        ``fleet`` recording whose header embeds the full declarative
+        fleet spec, with one ``device`` event per device (in device
+        order, parallel or not — results are order-preserved) carrying
+        the digest of that device's result payload.  Any single device
+        can then be replayed in isolation from the recording alone
+        (``repro replay <trace> --device ID``).
+        """
         start = time.perf_counter()
         if not OBS.enabled:
             # Observability off: chunked batch evaluation — devices
@@ -210,7 +221,7 @@ class FleetRunner:
             # produce the same report.)
             work = self._work_items()
             results = self._execute_batched(work)
-            return self._finish(results, start)
+            return self._finish(results, start, record=record)
         hits0, misses0 = self.cache.stats.hits, self.cache.stats.misses
         with OBS.tracer.span(
             "fleet.run",
@@ -220,7 +231,7 @@ class FleetRunner:
         ) as span:
             work = self._work_items()
             results = self._execute(_simulate_device_obs, work)
-            run_result = self._finish(results, start)
+            run_result = self._finish(results, start, record=record)
             span.set(
                 elapsed=run_result.elapsed,
                 cache_hits=self.cache.stats.hits - hits0,
@@ -256,6 +267,7 @@ class FleetRunner:
         sample_seed: int = 0,
         capacity: Optional[int] = None,
         on_shard=None,
+        record=None,
     ):
         """Execute the fleet shard by shard into mergeable sketches.
 
@@ -286,6 +298,7 @@ class FleetRunner:
             sample=sample,
             sample_seed=sample_seed,
             on_shard=on_shard,
+            record=record,
             **kwargs,
         )
 
@@ -302,8 +315,14 @@ class FleetRunner:
             label="fleet.batched",
         )
 
-    def _finish(self, results: List[DeviceResult], start: float) -> FleetRunResult:
+    def _finish(
+        self, results: List[DeviceResult], start: float, record=None
+    ) -> FleetRunResult:
         report = FleetReport(fleet_name=self.fleet.name, results=results)
+        if record is not None:
+            record_fleet_run(
+                record, self.fleet, self.eval_engine, results, report=report
+            )
         elapsed = time.perf_counter() - start
         return FleetRunResult(
             report=report,
@@ -312,6 +331,40 @@ class FleetRunner:
             cache_entries=len(self.cache),
             cache_summary=self.cache.stats.summary(),
         )
+
+
+def record_fleet_run(
+    record,
+    fleet: FleetSpec,
+    eval_engine: str,
+    results: List[DeviceResult],
+    report: Optional[FleetReport] = None,
+) -> FleetReport:
+    """Write one ``mode: run`` fleet recording from materialized results.
+
+    The single source of truth for the fleet-run recording layout —
+    shared by :meth:`FleetRunner.run` and the serve ``fleet`` handler so
+    the two produce byte-identical recordings for the same fleet.
+    ``results`` must be in ``fleet.devices`` order.  Wall-clock metadata
+    stays out: the recording is a pure function of the fleet spec.
+    """
+    if report is None:
+        report = FleetReport(fleet_name=fleet.name, results=results)
+    record.begin(
+        "fleet",
+        eval_engine,
+        {"mode": "run", "fleet": fleet.to_dict(), "eval_engine": eval_engine},
+    )
+    for device, result in zip(fleet.devices, results):
+        record.event(
+            "device",
+            device=device.device_id,
+            digest=payload_digest(result.to_dict()),
+            checkpoints=result.checkpoints,
+            power_failures=result.power_failures,
+        )
+    record.finish({"report": report.to_dict()})
+    return report
 
 
 def run_fleet(

@@ -49,16 +49,34 @@ POLICY_MARGINS: Dict[str, float] = {
 }
 
 #: Seeded trace generators a device can name: ``f(duration, seed)``.
-TRACE_GENERATORS: Dict[str, Callable[[float, int], IrradianceTrace]] = {
-    "nyc_pedestrian_night": lambda duration, seed: nyc_pedestrian_night(
-        duration=duration, seed=seed
+#: Every entry must honor both documented arguments (the pre-1.8
+#: ``constant`` entry silently dropped ``seed``; it now forwards it, and
+#: ``tests/fleet/test_spec.py`` asserts the contract for all entries).
+#: Extra keyword arguments (``rng=`` for recorded runs) pass through.
+TRACE_GENERATORS: Dict[str, Callable[..., IrradianceTrace]] = {
+    "nyc_pedestrian_night": lambda duration, seed, **kw: nyc_pedestrian_night(
+        duration=duration, seed=seed, **kw
     ),
-    "diurnal": lambda duration, seed: diurnal_trace(duration=duration, seed=seed),
-    "rfid_reader": lambda duration, seed: rfid_reader_trace(duration=duration, seed=seed),
-    "thermal_gradient": lambda duration, seed: thermal_gradient_trace(
-        duration=duration, seed=seed
+    # The raw generator's sunrise/sunset default to a 24 h day and
+    # reject shorter durations; the registry entry scales the day shape
+    # to the requested duration so the contract holds for any length.
+    "diurnal": lambda duration, seed, **kw: diurnal_trace(
+        duration=duration,
+        dt=max(1e-3, duration / 1440.0),
+        sunrise=duration * 0.25,
+        sunset=duration * (5.0 / 6.0),
+        seed=seed,
+        **kw,
     ),
-    "constant": lambda duration, seed: constant_trace(0.5, duration),
+    "rfid_reader": lambda duration, seed, **kw: rfid_reader_trace(
+        duration=duration, seed=seed, **kw
+    ),
+    "thermal_gradient": lambda duration, seed, **kw: thermal_gradient_trace(
+        duration=duration, seed=seed, **kw
+    ),
+    "constant": lambda duration, seed, **kw: constant_trace(
+        0.5, duration, seed=seed, **kw
+    ),
 }
 
 
@@ -150,8 +168,14 @@ class DeviceSpec:
     def policy_margin(self) -> float:
         return POLICY_MARGINS[self.policy]
 
-    def build_trace(self) -> IrradianceTrace:
-        trace = TRACE_GENERATORS[self.trace](self.trace_duration, self.trace_seed)
+    def build_trace(self, rng: Optional[random.Random] = None) -> IrradianceTrace:
+        """The device's irradiance trace; ``rng`` substitutes a
+        pre-seeded stream (recorded replays pass a counting one so the
+        draw count lands in the event stream)."""
+        kwargs = {} if rng is None else {"rng": rng}
+        trace = TRACE_GENERATORS[self.trace](
+            self.trace_duration, self.trace_seed, **kwargs
+        )
         if self.trace_scale != 1.0:
             trace = trace.scaled(self.trace_scale)
         return trace

@@ -56,6 +56,7 @@ from repro.fleet.report import (
     percentile,
 )
 from repro.obs import OBS
+from repro.trace.format import payload_digest
 
 __all__ = [
     "DEFAULT_RESERVOIR_CAPACITY",
@@ -705,6 +706,7 @@ def stream_fleet(
     sample_seed: int = 0,
     capacity: int = DEFAULT_RESERVOIR_CAPACITY,
     on_shard: Optional[Callable[[int, FleetSketch], None]] = None,
+    record=None,
 ) -> FleetStreamResult:
     """Simulate a fleet shard by shard, folding results into sketches.
 
@@ -722,6 +724,15 @@ def stream_fleet(
     each folded shard — :mod:`repro.serve` streams sketch snapshots
     and checks cancellation from it (each shard's pool has already
     been joined, so an exception leaves no orphan workers).
+
+    ``record`` is the :mod:`repro.trace` seam.  The device source is an
+    arbitrary iterable the header cannot re-express declaratively, so
+    the recording carries the devices *in the event stream*: one
+    ``device`` event (spec payload + result digest) per simulated
+    device and one ``skip`` event per not-sampled device, in arrival
+    order.  Pass a :class:`~repro.trace.TraceRecorder` with ``path=``
+    and ``keep_events=False`` for 10^7-device runs — events stream to
+    JSONL and memory stays flat.
     """
     # Late import: runner imports us lazily for run_streaming, so the
     # module-level dependency must point one way only.
@@ -734,6 +745,20 @@ def stream_fleet(
     cache = cache if cache is not None else CalibrationCache()
     sampler = StratifiedSampler(fraction=sample, seed=sample_seed)
     sketch = FleetSketch(capacity=capacity, seed=sample_seed)
+    if record is not None:
+        record.begin(
+            "fleet",
+            eval_engine,
+            {
+                "mode": "stream",
+                "name": name,
+                "shard_size": shard_size,
+                "eval_engine": eval_engine,
+                "sample": sample,
+                "sample_seed": sample_seed,
+                "capacity": capacity,
+            },
+        )
     worker = functools.partial(_simulate_chunk, engine=eval_engine)
     start = time.perf_counter()
     shards = 0
@@ -748,13 +773,17 @@ def stream_fleet(
             shards += 1
             work = []
             strata = []
+            admitted = []
             for device in shard:
                 stratum = device_stratum(device)
                 if sampler.admit(device):
                     work.append((device, cache.get(device.calibration_key()).model))
                     strata.append(stratum)
+                    admitted.append(True)
                 else:
                     sketch.skip(stratum)
+                    admitted.append(False)
+            results: List[DeviceResult] = []
             if work:
                 results = run_tasks(
                     worker,
@@ -766,7 +795,24 @@ def stream_fleet(
                 )
                 for stratum, result in zip(strata, results):
                     sketch.update(result, stratum=stratum)
-            del shard, work, strata
+            if record is not None:
+                # Emit in arrival order (run_tasks preserves result
+                # order) so the stream is deterministic under any
+                # parallelism.
+                result_iter = iter(results)
+                for device, ok in zip(shard, admitted):
+                    if ok:
+                        record.event(
+                            "device",
+                            device=device.device_id,
+                            spec=device.to_dict(),
+                            digest=payload_digest(next(result_iter).to_dict()),
+                        )
+                    else:
+                        record.event(
+                            "skip", device=device.device_id, spec=device.to_dict()
+                        )
+            del shard, work, strata, admitted, results
             if on_shard is not None:
                 on_shard(shards, sketch)
         span.set(shards=shards, seen=sketch.seen, simulated=sketch.count)
@@ -776,6 +822,12 @@ def stream_fleet(
         OBS.metrics.incr("fleet.stream_shards", shards)
         OBS.metrics.incr("fleet.stream_devices", sketch.count)
         OBS.metrics.observe("fleet.stream_elapsed", elapsed)
+    if record is not None:
+        # Wall-clock metadata stays out: the recording is a pure
+        # function of the device stream and the knobs above.
+        record.finish(
+            {"report": FleetSketchReport(fleet_name=name, sketch=sketch).to_dict()}
+        )
     return FleetStreamResult(
         report=FleetSketchReport(fleet_name=name, sketch=sketch),
         elapsed=elapsed,

@@ -57,6 +57,7 @@ class FastIntermittentSimulator(IntermittentSimulator):
         t = 0.0
         end = trace.duration
         steps = 0
+        rec = self._record
         # One power value per trace segment, shared with the batch engine
         # so the two agree bit-for-bit on p_in.
         power = self.panel.power_curve(trace.values)
@@ -114,6 +115,8 @@ class FastIntermittentSimulator(IntermittentSimulator):
             state = "restore"
             phase_left = self.checkpoint.restore_time
             OBS.tracer.event("harvest.power_on", t=t, v=cap.voltage)
+            if rec is not None:
+                rec.event("power_on", t=t, v=cap.voltage)
             while t < end and state != "off":
                 steps += 1
                 p_in = power[min(int(t / trace.dt), last_seg)] if last_seg >= 0 else 0.0
@@ -178,15 +181,21 @@ class FastIntermittentSimulator(IntermittentSimulator):
                         phase_left = self.checkpoint.checkpoint_time
                         report.checkpoints += 1
                         OBS.tracer.event("harvest.checkpoint", t=t, v=cap.voltage)
+                        if rec is not None:
+                            rec.event("checkpoint", t=t, v=cap.voltage)
                 elif state == "checkpoint":
                     phase_left -= step
                     if cap.voltage < self.checkpoint.v_min:
                         report.power_failures += 1
                         state = "off"
                         OBS.tracer.event("harvest.power_failure", t=t, v=cap.voltage)
+                        if rec is not None:
+                            rec.event("power_failure", t=t, v=cap.voltage)
                     elif phase_left <= 0:
                         state = "off"
                         OBS.tracer.event("harvest.power_off", t=t, v=cap.voltage)
+                        if rec is not None:
+                            rec.event("power_off", t=t, v=cap.voltage)
 
         report.steps = steps
         report.energy_by_sink = sinks

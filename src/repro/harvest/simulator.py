@@ -150,33 +150,59 @@ class IntermittentSimulator:
                 f"checkpoint voltage {self.v_ckpt:.3f} V reaches the turn-on "
                 "threshold; no room to run"
             )
+        #: Active trace sink while a recorded ``run()`` is in flight
+        #: (the ``record=`` seam; see :mod:`repro.trace`).
+        self._record = None
 
     #: Engine label used in trace spans and reports.
     engine_name = "reference"
 
     # ------------------------------------------------------------------
-    def run(self, trace: IrradianceTrace, dt: float = 5e-4, v_initial: float = 0.0) -> SimulationReport:
+    def run(
+        self,
+        trace: IrradianceTrace,
+        dt: float = 5e-4,
+        v_initial: float = 0.0,
+        record=None,
+    ) -> SimulationReport:
         """Replay ``trace`` and account every second and joule.
 
         Instrumented template method: one ``harvest.run`` span per
         replay, with the engine's aggregate counters (steps, on/off
         transitions via checkpoints and power cycles) reported through
         :mod:`repro.obs` after the engine-specific ``_run_impl``.
+
+        ``record`` is the :mod:`repro.trace` seam: any
+        :class:`~repro.trace.TraceSink` receives the run's header
+        (config sufficient to re-execute it), one event per engine
+        decision (power_on/checkpoint/power_failure/power_off), and the
+        final report payload.  Replaying such a recording reproduces
+        this report byte-identically (``docs/replay.md``).
         """
-        with OBS.tracer.span(
-            "harvest.run",
-            engine=self.engine_name,
-            monitor=self.monitor.name,
-            duration=trace.duration,
-            dt=dt,
-        ) as span:
-            report = self._run_impl(trace, dt, v_initial)
-            span.set(
-                steps=report.steps,
-                checkpoints=report.checkpoints,
-                power_failures=report.power_failures,
-                duty=report.duty,
+        if record is not None:
+            record.begin(
+                "harvest", self.engine_name, self._record_config(trace, dt, v_initial)
             )
+        self._record = record
+        try:
+            with OBS.tracer.span(
+                "harvest.run",
+                engine=self.engine_name,
+                monitor=self.monitor.name,
+                duration=trace.duration,
+                dt=dt,
+            ) as span:
+                report = self._run_impl(trace, dt, v_initial)
+                span.set(
+                    steps=report.steps,
+                    checkpoints=report.checkpoints,
+                    power_failures=report.power_failures,
+                    duty=report.duty,
+                )
+        finally:
+            self._record = None
+        if record is not None:
+            record.finish(report.to_dict())
         metrics = OBS.metrics
         if metrics.enabled:
             metrics.incr("harvest.runs")
@@ -185,6 +211,33 @@ class IntermittentSimulator:
             metrics.incr("harvest.power_failures", report.power_failures)
             metrics.observe("harvest.duty", report.duty)
         return report
+
+    def _record_config(self, trace: IrradianceTrace, dt: float, v_initial: float) -> Dict[str, object]:
+        """The re-execution config a recording's header carries.
+
+        Expressed as a :class:`repro.batch.Scenario` payload (lazy
+        import — batch imports this module) plus the *effective*
+        checkpoint threshold: policies mutate ``v_ckpt`` after
+        construction (:func:`repro.batch.scenario.apply_policy_margin`),
+        so replay restores the recorded value rather than re-deriving.
+        """
+        from repro.batch.scenario import Scenario
+
+        scenario = Scenario(
+            monitor=self.monitor,
+            trace=trace,
+            panel=self.panel,
+            capacitance=self.capacitance,
+            dt=dt,
+            v_initial=v_initial,
+            scalar_engine="fast" if self.engine_name == "fast" else "reference",
+            mcu=self.mcu,
+            peripherals=tuple(self.peripherals),
+            checkpoint=self.checkpoint,
+            v_on=self.v_on,
+            leakage=self.leakage,
+        )
+        return {"scenario": scenario.to_dict(), "v_ckpt": self.v_ckpt}
 
     def _run_impl(self, trace: IrradianceTrace, dt: float, v_initial: float) -> SimulationReport:
         if dt <= 0:
@@ -201,6 +254,7 @@ class IntermittentSimulator:
         state = "off"
         phase_left = 0.0  # remaining seconds in restore/checkpoint
         harvested = 0.0
+        rec = self._record
         steps = int(round(trace.duration / dt))
         # Per-segment input power, shared with the fast and batch engines.
         power = self.panel.power_curve(trace.values)
@@ -263,6 +317,8 @@ class IntermittentSimulator:
                     state = "restore"
                     phase_left = self.checkpoint.restore_time
                     OBS.tracer.event("harvest.power_on", t=t, v=v)
+                    if rec is not None:
+                        rec.event("power_on", t=t, v=v)
             elif state == "restore":
                 phase_left -= dt
                 if v < self.checkpoint.v_min:
@@ -275,6 +331,8 @@ class IntermittentSimulator:
                     state = "checkpoint"
                     report.checkpoints += 1
                     OBS.tracer.event("harvest.checkpoint", t=t, v=v)
+                    if rec is not None:
+                        rec.event("checkpoint", t=t, v=v)
                     # Split the step at the threshold crossing: a discrete
                     # step overshoots the threshold by up to I*dt/C volts,
                     # which would make even the ideal monitor look "late"
@@ -297,9 +355,13 @@ class IntermittentSimulator:
                     report.power_failures += 1
                     state = "off"
                     OBS.tracer.event("harvest.power_failure", t=t, v=v)
+                    if rec is not None:
+                        rec.event("power_failure", t=t, v=v)
                 elif phase_left <= 0:
                     state = "off"
                     OBS.tracer.event("harvest.power_off", t=t, v=v)
+                    if rec is not None:
+                        rec.event("power_off", t=t, v=v)
 
         report.steps = steps
         report.energy_by_sink = sinks

@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -64,8 +64,21 @@ class IrradianceTrace:
         return IrradianceTrace(self.dt, [v * factor for v in self.values])
 
 
-def constant_trace(irradiance: float, duration: float, dt: float = 0.1) -> IrradianceTrace:
-    """A flat trace — useful for analytic cross-checks."""
+def constant_trace(
+    irradiance: float,
+    duration: float,
+    dt: float = 0.1,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> IrradianceTrace:
+    """A flat trace — useful for analytic cross-checks.
+
+    ``seed`` and ``rng`` are accepted so the generator honors the
+    ``f(duration, seed)`` contract every :data:`repro.fleet.spec.
+    TRACE_GENERATORS` entry promises; a constant trace has no stochastic
+    component, so neither changes the values (zero draws).
+    """
+    del seed, rng  # no stochastic component
     steps = max(1, int(round(duration / dt)))
     return IrradianceTrace(dt, [irradiance] * steps)
 
@@ -78,6 +91,7 @@ def nyc_pedestrian_night(
     burst_irradiance: float = 3.0,
     burst_rate_hz: float = 0.08,
     dropout_rate_hz: float = 0.02,
+    rng: Optional[random.Random] = None,
 ) -> IrradianceTrace:
     """Synthetic EnHANTs-style trace: pedestrian in NYC at night.
 
@@ -91,8 +105,13 @@ def nyc_pedestrian_night(
       light pool);
     * shadow dropouts at ``dropout_rate_hz`` suppressing the base for a
       couple of seconds.
+
+    ``rng`` substitutes a pre-seeded stream (e.g. a counting one from
+    :mod:`repro.trace`, so recordings can carry draw counts at the
+    consumption site); it must be positioned where ``Random(seed)``
+    would start for the trace to match.
     """
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     steps = max(1, int(round(duration / dt)))
     base = base_irradiance
     values = [0.0] * steps
@@ -145,6 +164,7 @@ def diurnal_trace(
     sunset: float = 20 * 3600.0,
     seed: int = 7,
     cloud_depth: float = 0.4,
+    rng: Optional[random.Random] = None,
 ) -> IrradianceTrace:
     """A full day outdoors: half-sine daylight arc with cloud noise.
 
@@ -153,7 +173,7 @@ def diurnal_trace(
     """
     if not 0 <= sunrise < sunset <= duration:
         raise ConfigurationError("sunrise/sunset must order within the day")
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     steps = max(1, int(round(duration / dt)))
     values = []
     cloud = 1.0
@@ -177,6 +197,7 @@ def rfid_reader_trace(
     field_irradiance: float = 40.0,
     dwell_mean: float = 1.5,
     gap_mean: float = 4.0,
+    rng: Optional[random.Random] = None,
 ) -> IrradianceTrace:
     """RFID-style harvesting: strong power inside the reader field,
     nothing outside (the WISP/Mementos scenario the paper cites).
@@ -185,7 +206,7 @@ def rfid_reader_trace(
     only the on/off envelope matters to the system dynamics.  Dwell and
     gap lengths are exponential with the given means.
     """
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     steps = max(1, int(round(duration / dt)))
     values = [0.0] * steps
     t = rng.expovariate(1.0 / gap_mean)
@@ -207,6 +228,7 @@ def thermal_gradient_trace(
     base_irradiance: float = 1.2,
     drift_period: float = 900.0,
     noise: float = 0.08,
+    rng: Optional[random.Random] = None,
 ) -> IrradianceTrace:
     """Thermoelectric-style harvesting: a small, steady trickle with a
     slow sinusoidal drift (machinery duty cycles) and mild noise.
@@ -215,7 +237,7 @@ def thermal_gradient_trace(
     the intermittent duty cycle qualitatively: long steady charging,
     regular bursts.
     """
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     steps = max(1, int(round(duration / dt)))
     values = []
     for i in range(steps):

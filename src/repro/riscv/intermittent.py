@@ -15,10 +15,10 @@ power — the property the integration tests assert.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
 
-from repro.errors import CPUError, SimulationError
+from repro.errors import ConfigurationError, CPUError, SimulationError
 from repro.harvest.capacitor import BufferCapacitor
 from repro.harvest.loads import MCULoad, MSP430FR5969, SYSTEM_LEAKAGE
 from repro.harvest.panel import SolarPanel
@@ -61,6 +61,27 @@ class IntermittentRunResult:
             f"{self.power_cycles} power cycles, {self.checkpoints} checkpoints, "
             f"{self.power_failures} uncheckpointed failures"
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready payload; inverse of :meth:`from_dict` (the
+        :mod:`repro.trace` result payload for ``riscv`` recordings)."""
+        return {
+            "completed": self.completed,
+            "exit_code": self.exit_code,
+            "wall_time": self.wall_time,
+            "active_time": self.active_time,
+            "checkpoint_time": self.checkpoint_time,
+            "instructions": self.instructions,
+            "power_cycles": self.power_cycles,
+            "checkpoints": self.checkpoints,
+            "restores": self.restores,
+            "power_failures": self.power_failures,
+            "console_output": self.console_output,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "IntermittentRunResult":
+        return cls(**dict(data))
 
 
 class IntermittentMachine:
@@ -126,6 +147,12 @@ class IntermittentMachine:
         self.volatile_bytes = volatile_bytes
         self.leakage = leakage
         self.policy = policy if policy is not None else JustInTimePolicy()
+        # Recording constraints: a trace header must rebuild the machine
+        # from JSON alone, which rules out caller-supplied device/policy
+        # objects (they carry arbitrary state the header cannot encode).
+        self._custom_fs_device = fs_device is not None
+        self._custom_policy = policy is not None
+        self._record = None
 
         self.run_current = self.mcu.core_current + self.fs_device.monitor.mean_current(3.0) + leakage
         self.memory = MemoryMap()
@@ -164,14 +191,58 @@ class IntermittentMachine:
         return restored
 
     # ------------------------------------------------------------------
+    def _record_config(
+        self,
+        trace: IrradianceTrace,
+        max_wall_time: float,
+        max_instructions: int,
+    ) -> Dict[str, object]:
+        """Declarative re-execution payload for :mod:`repro.trace`."""
+        return {
+            "program": list(self.program),
+            "panel": asdict(self.panel),
+            "capacitance": self.capacitance,
+            "mcu": asdict(self.mcu),
+            "clock_hz": self.clock_hz,
+            "v_on": self.v_on,
+            "v_threshold": self.v_threshold,
+            "v_min": self.v_min,
+            "volatile_bytes": self.volatile_bytes,
+            "leakage": self.leakage,
+            "engine": self.engine,
+            "differential_checkpoints": self.runtime.differential,
+            "trace": {"dt": trace.dt, "values": list(trace.values)},
+            "max_wall_time": max_wall_time,
+            "max_instructions": max_instructions,
+        }
+
     def run(
         self,
         trace: Optional[IrradianceTrace] = None,
         max_wall_time: float = 3600.0,
         max_instructions: int = 50_000_000,
+        record=None,
     ) -> IntermittentRunResult:
-        """Execute the program across power cycles until it halts."""
+        """Execute the program across power cycles until it halts.
+
+        ``record`` is the :mod:`repro.trace` seam: the run becomes one
+        ``riscv`` recording whose header rebuilds this machine from JSON
+        alone.  Recording therefore requires the default
+        :class:`FSDevice` and :class:`JustInTimePolicy` — custom objects
+        carry state a declarative header cannot encode.
+        """
         trace = trace or constant_trace(5.0, max_wall_time)
+        if record is not None:
+            if self._custom_fs_device or self._custom_policy:
+                raise ConfigurationError(
+                    "record= requires the default FSDevice and JustInTimePolicy; "
+                    "custom objects cannot be rebuilt from a trace header"
+                )
+            record.begin(
+                "riscv",
+                self.engine,
+                self._record_config(trace, max_wall_time, max_instructions),
+            )
         fast = self._fast
         blocks_before = fast.blocks_compiled if fast is not None else 0
         hits_before = fast.block_hits if fast is not None else 0
@@ -183,7 +254,11 @@ class IntermittentMachine:
             v_threshold=self.v_threshold,
             engine=self.engine,
         ) as span:
-            result = self._run_traced(trace, max_wall_time, max_instructions)
+            self._record = record
+            try:
+                result = self._run_traced(trace, max_wall_time, max_instructions)
+            finally:
+                self._record = None
             span.set(
                 completed=result.completed,
                 instructions=result.instructions,
@@ -209,6 +284,8 @@ class IntermittentMachine:
                 "riscv.dirty_pages",
                 self.runtime.dirty_pages_written - dirty_before,
             )
+        if record is not None:
+            record.finish(result.to_dict())
         return result
 
     def _run_traced(
@@ -219,6 +296,7 @@ class IntermittentMachine:
     ) -> IntermittentRunResult:
         result = IntermittentRunResult(completed=False)
         cap = BufferCapacitor(capacitance=self.capacitance, voltage=0.0)
+        rec = self._record  # trace seam; `record` names CheckpointRecords below
         self.fs_device.power_cycle()
         self.runtime.invalidate()
 
@@ -237,8 +315,11 @@ class IntermittentMachine:
                 break
 
             result.power_cycles += 1
-            if self._boot():
+            restored = self._boot()
+            if restored:
                 result.restores += 1
+            if rec is not None:
+                rec.event("power_on", t=t, v=cap.voltage, restored=restored)
             # Pay the restore cost in time and charge.
             restore_time = self.runtime.restore_cycles() / self.clock_hz
             cap.apply_power(
@@ -291,6 +372,13 @@ class IntermittentMachine:
                         v=cap.voltage,
                         lost_instructions=instructions_since_ckpt,
                     )
+                    if rec is not None:
+                        rec.event(
+                            "power_failure",
+                            t=t,
+                            v=cap.voltage,
+                            lost_instructions=instructions_since_ckpt,
+                        )
                     break
                 if self.policy.decide(view) is CheckpointDecision.CHECKPOINT:
                     record = self.runtime.checkpoint()
@@ -310,6 +398,15 @@ class IntermittentMachine:
                         v=cap.voltage,
                         instructions=instructions_since_ckpt,
                     )
+                    if rec is not None:
+                        rec.event(
+                            "checkpoint",
+                            t=t,
+                            v=cap.voltage,
+                            instructions=instructions_since_ckpt,
+                            bytes=record.bytes_written,
+                            cycles=record.cycles,
+                        )
                     instructions_since_ckpt = 0
                     time_of_last_ckpt = t
                     if cap.voltage < self.v_min:

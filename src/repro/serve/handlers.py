@@ -19,7 +19,9 @@ Job types:
     constant-memory sharded path instead: one ``sketch`` snapshot
     event per shard (mergeable :class:`~repro.fleet.stream.FleetSketch`
     wire form), final result ``FleetSketchReport.to_dict()``, and
-    cancellation lands at shard granularity.
+    cancellation lands at shard granularity.  ``"record": true`` (both
+    modes) additionally captures the run as a :mod:`repro.trace`
+    recording, streamed as one ``trace`` event.
 ``dse``
     ``{"tech": "90nm", "population_size": p, "generations": g,
     "seed": s}`` — NSGA-II with a ``generation`` event per generation
@@ -34,6 +36,10 @@ Job types:
     sweeps against the manager's warm shared
     :class:`~repro.spice.charlib.CharacterizationCache`; one ``sweep``
     event per result.
+``replay``
+    ``{"recording": Recording.to_dict(), "device": id?}`` — re-execute
+    a :mod:`repro.trace` recording server-side and report whether the
+    re-execution is byte-identical (plus the first divergence if not).
 
 Handlers fan heavy work out through
 :meth:`~repro.serve.jobs.JobContext.wave_run`, so every job type honors
@@ -54,7 +60,7 @@ from repro.dse.pareto import non_dominated_sort
 from repro.dse.space import DesignSpace
 from repro.errors import ConfigurationError
 from repro.fleet.report import FleetReport
-from repro.fleet.runner import FleetRunner, _simulate_chunk
+from repro.fleet.runner import FleetRunner, _simulate_chunk, record_fleet_run
 from repro.fleet.spec import FleetSpec
 from repro.fleet.stream import (
     DEFAULT_RESERVOIR_CAPACITY,
@@ -62,6 +68,7 @@ from repro.fleet.stream import (
     stream_fleet,
 )
 from repro.serve.jobs import JobContext
+from repro.trace import Recording, TraceRecorder, replay
 from repro.spice.charlib import (
     DividerSweep,
     RingSweep,
@@ -76,6 +83,7 @@ __all__ = [
     "handle_dse",
     "handle_experiments",
     "handle_fleet",
+    "handle_replay",
     "sweep_from_dict",
     "sweep_to_dict",
 ]
@@ -131,7 +139,14 @@ def handle_fleet(context: JobContext, request: Dict) -> Dict:
     )
     # Same aggregation as FleetRunner.run(): DeviceResults in id order,
     # so this payload is byte-identical to the direct run's report.
-    return FleetReport(fleet_name=fleet.name, results=results).to_dict()
+    report = FleetReport(fleet_name=fleet.name, results=results)
+    if request.get("record"):
+        # Same recording layout as FleetRunner.run(record=...) — one
+        # shared writer — streamed to subscribers as a ``trace`` event.
+        recorder = TraceRecorder()
+        record_fleet_run(recorder, fleet, eval_engine, results, report=report)
+        context.emit("trace", recording=recorder.recording.to_dict())
+    return report.to_dict()
 
 
 def _handle_fleet_stream(
@@ -164,6 +179,7 @@ def _handle_fleet_stream(
         )
         context.emit_metrics()
 
+    recorder = TraceRecorder() if request.get("record") else None
     outcome = stream_fleet(
         fleet.devices,
         name=fleet.name,
@@ -175,9 +191,48 @@ def _handle_fleet_stream(
         sample_seed=sample_seed,
         capacity=capacity,
         on_shard=on_shard,
+        record=recorder,
     )
     context.check_cancelled()
+    if recorder is not None:
+        context.emit("trace", recording=recorder.recording.to_dict())
     return outcome.report.to_dict()
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+def handle_replay(context: JobContext, request: Dict) -> Dict:
+    """Re-execute a recording server-side and verify byte-identity.
+
+    ``{"recording": Recording.to_dict(), "device": id?}`` — the
+    recording rides its own wire form (the payload a recorded ``fleet``
+    job streams in its ``trace`` event).  The result reports the
+    verdict plus the first divergence; the replayed event stream itself
+    is summarized by digest so 10^7-device verdicts stay small.
+    """
+    if "recording" not in request:
+        raise ConfigurationError('replay job needs a "recording" payload')
+    recording = Recording.from_dict(request["recording"])
+    device = request.get("device")
+    context.emit(
+        "replay",
+        kind=recording.header.kind,
+        engine=recording.header.engine,
+        events=len(recording.events),
+    )
+    outcome = replay(
+        recording,
+        device=int(device) if device is not None else None,
+        check=False,
+    )
+    context.check_cancelled()
+    return {
+        "identical": outcome.identical,
+        "divergence": outcome.diff.divergence,
+        "detail": outcome.diff.render(),
+        "result_digest": outcome.replayed.result_digest,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -340,4 +395,5 @@ HANDLERS = {
     "dse": handle_dse,
     "experiments": handle_experiments,
     "characterize": handle_characterize,
+    "replay": handle_replay,
 }

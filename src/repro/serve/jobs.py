@@ -87,6 +87,12 @@ class Job:
         self.created = time.time()
         self.started: Optional[float] = None
         self.finished: Optional[float] = None
+        # Monotonic marks for duration math.  ``created``/``started``/
+        # ``finished`` stay wall-clock for display, but ``elapsed`` must
+        # not go negative (or jump) when NTP steps the system clock
+        # mid-job, so it is computed from perf_counter exclusively.
+        self._started_pc: Optional[float] = None
+        self._finished_pc: Optional[float] = None
         self.cancel_event = threading.Event()
         self._lock = threading.Lock()
         self._seq = itertools.count()
@@ -141,10 +147,16 @@ class Job:
     # ------------------------------------------------------------------
     @property
     def elapsed(self) -> Optional[float]:
-        """Run time in seconds (``None`` until the job has started)."""
-        if self.started is None:
+        """Run time in seconds (``None`` until the job has started).
+
+        Monotonic: measured from ``perf_counter`` marks, never from the
+        wall-clock ``started``/``finished`` fields, so a system-clock
+        step during the job cannot produce a negative or wild value.
+        """
+        if self._started_pc is None:
             return None
-        return (self.finished or time.time()) - self.started
+        end = self._finished_pc if self._finished_pc is not None else time.perf_counter()
+        return end - self._started_pc
 
     def to_dict(self) -> Dict:
         """JSON status payload for ``GET /jobs/<id>``."""
@@ -389,6 +401,7 @@ class JobManager:
         """Terminal transition + the stream's closing ``end`` event."""
         job.state = state
         job.finished = time.time()
+        job._finished_pc = time.perf_counter()
         job.publish({"event": "end", "state": state})
         OBS.metrics.incr(f"serve.jobs_{state}")
 
@@ -408,6 +421,7 @@ class JobManager:
             return
         job.state = "running"
         job.started = time.time()
+        job._started_pc = time.perf_counter()
         job.publish({"event": "state", "state": "running"})
         context = JobContext(job, self)
         with OBS.tracer.span("serve.job", job=job.job_id, kind=job.kind):

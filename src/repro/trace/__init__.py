@@ -1,0 +1,52 @@
+"""``repro.trace`` — one deterministic record/replay seam under every engine.
+
+Recording: pass ``record=TraceRecorder()`` to any engine front door
+(``IntermittentSimulator.run``, ``evaluate_many``,
+``IntermittentMachine.run``, ``FleetRunner.run``, ``stream_fleet``) and
+the run becomes a :class:`Recording` — a versioned header sufficient to
+re-execute the run, every engine decision as an event, and the final
+result payload with its digest.
+
+Replay: :func:`replay` re-executes the recording with a fresh recorder
+and asserts the two are byte-identical; :func:`diff_recordings` names
+the first divergent event between any two recordings.  Format spec and
+determinism contract: ``docs/replay.md``.
+"""
+
+from repro.trace.diff import TraceDiff, diff_recordings
+from repro.trace.format import (
+    KINDS,
+    TRACE_FORMAT_VERSION,
+    Recording,
+    TraceEvent,
+    TraceHeader,
+    canonical_json,
+    payload_digest,
+)
+from repro.trace.recorder import CountingRandom, LaneSink, TraceRecorder, TraceSink
+from repro.trace.replayer import (
+    ReplayMismatch,
+    ReplayResult,
+    record_device,
+    replay,
+)
+
+__all__ = [
+    "KINDS",
+    "TRACE_FORMAT_VERSION",
+    "CountingRandom",
+    "LaneSink",
+    "Recording",
+    "ReplayMismatch",
+    "ReplayResult",
+    "TraceDiff",
+    "TraceEvent",
+    "TraceHeader",
+    "TraceRecorder",
+    "TraceSink",
+    "canonical_json",
+    "diff_recordings",
+    "payload_digest",
+    "record_device",
+    "replay",
+]

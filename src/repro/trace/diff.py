@@ -1,0 +1,129 @@
+"""Trace diffing: walk two recordings, name the first divergent event.
+
+The point of recording every engine decision is that "the fleet p99
+moved between builds" stops being a mystery: diff the two recordings
+and the answer is a single device and a single event —
+
+    device 48231 diverged at t=312s: checkpoint (fast) vs power_failure (legacy)
+
+Comparison is byte-identity over :func:`canonical_json` of each
+payload, the same contract replay verification uses, so a diff that
+reports "identical" is exactly the replay acceptance criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.trace.format import Recording, TraceEvent, canonical_json
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """The outcome of walking two recordings event by event.
+
+    ``divergence`` names where they part ways: ``None`` (identical),
+    ``"header"``, ``"event"`` (see ``index``/``left``/``right``),
+    ``"length"`` (one stream ended early) or ``"result"`` (same events,
+    different final payload).
+    """
+
+    divergence: Optional[str]
+    index: Optional[int] = None
+    left: Optional[TraceEvent] = None
+    right: Optional[TraceEvent] = None
+    detail: str = ""
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence is None
+
+    def to_dict(self) -> dict:
+        return {
+            "identical": self.identical,
+            "divergence": self.divergence,
+            "index": self.index,
+            "left": self.left.to_dict() if self.left else None,
+            "right": self.right.to_dict() if self.right else None,
+            "detail": self.render() if not self.identical else "",
+        }
+
+    def render(self) -> str:
+        if self.identical:
+            return "recordings are byte-identical"
+        if self.divergence == "header":
+            return f"headers differ: {self.detail}"
+        if self.divergence == "length":
+            return f"event streams differ in length: {self.detail}"
+        if self.divergence == "result":
+            return f"events identical but results differ: {self.detail}"
+        left = self.left.render() if self.left else "(missing)"
+        right = self.right.render() if self.right else "(missing)"
+        where = _locate(self.left or self.right)
+        return f"first divergence at event {self.index}{where}: {left}  vs  {right}"
+
+
+def _locate(event: Optional[TraceEvent]) -> str:
+    """``" (device 48231, t=312s)"``-style location suffix."""
+    if event is None:
+        return ""
+    bits = []
+    for key in ("device_id", "device"):
+        if key in event.payload and not isinstance(event.payload[key], dict):
+            bits.append(f"device {event.payload[key]}")
+            break
+    if "lane" in event.payload:
+        bits.append(f"lane {event.payload['lane']}")
+    if event.t is not None:
+        bits.append(f"t={event.t:.6g}s")
+    return f" ({', '.join(bits)})" if bits else ""
+
+
+def _event_key(event: TraceEvent) -> str:
+    return canonical_json(event.to_dict())
+
+
+def diff_recordings(left: Recording, right: Recording) -> TraceDiff:
+    """First divergent event between two recordings (or identity)."""
+    lh, rh = left.header.to_dict(), right.header.to_dict()
+    if canonical_json(lh) != canonical_json(rh):
+        fields = sorted(
+            k for k in set(lh) | set(rh)
+            if canonical_json(lh.get(k)) != canonical_json(rh.get(k))
+        )
+        return TraceDiff(
+            divergence="header",
+            detail=", ".join(
+                f"{k}: {_short(lh.get(k))} vs {_short(rh.get(k))}" for k in fields
+            ),
+        )
+    for i, (le, re) in enumerate(zip(left.events, right.events)):
+        if _event_key(le) != _event_key(re):
+            return TraceDiff(divergence="event", index=i, left=le, right=re)
+    if len(left.events) != len(right.events):
+        longer = left if len(left.events) > len(right.events) else right
+        i = min(len(left.events), len(right.events))
+        extra = longer.events[i]
+        side = "left" if longer is left else "right"
+        return TraceDiff(
+            divergence="length",
+            index=i,
+            left=extra if side == "left" else None,
+            right=extra if side == "right" else None,
+            detail=(
+                f"{len(left.events)} vs {len(right.events)} events; "
+                f"{side} continues with {extra.render()}{_locate(extra)}"
+            ),
+        )
+    if canonical_json(left.result) != canonical_json(right.result):
+        return TraceDiff(
+            divergence="result",
+            detail=f"digest {left.result_digest or '(none)'} vs {right.result_digest or '(none)'}",
+        )
+    return TraceDiff(divergence=None)
+
+
+def _short(value, limit: int = 60) -> str:
+    text = canonical_json(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."

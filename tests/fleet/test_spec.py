@@ -106,3 +106,32 @@ class TestSynthesizeFleet:
     def test_fleet_picklable(self):
         fleet = synthesize_fleet(6, seed=4, duration=30.0)
         assert pickle.loads(pickle.dumps(fleet)) == fleet
+
+
+class TestTraceGeneratorContract:
+    """Every registry entry honors the documented ``f(duration, seed)``
+    signature (the pre-1.8 ``constant`` entry silently dropped both;
+    the TRACE_GENERATORS comment in spec.py points here)."""
+
+    def test_every_generator_honors_duration(self):
+        from repro.fleet.spec import TRACE_GENERATORS
+
+        for name, gen in sorted(TRACE_GENERATORS.items()):
+            for duration in (30.0, 90.0):
+                trace = gen(duration, 1)
+                assert trace.duration == pytest.approx(duration, rel=0.05), name
+
+    def test_every_generator_is_deterministic_in_seed(self):
+        from repro.fleet.spec import TRACE_GENERATORS
+
+        for name, gen in sorted(TRACE_GENERATORS.items()):
+            assert gen(20.0, 7).values == gen(20.0, 7).values, name
+
+    def test_every_generator_accepts_distinct_seeds(self):
+        from repro.fleet.spec import TRACE_GENERATORS
+
+        # Passing a different seed must be accepted by every entry (it
+        # need not change a deterministic shape, but it must not throw).
+        for name, gen in sorted(TRACE_GENERATORS.items()):
+            a, b = gen(20.0, 1), gen(20.0, 2)
+            assert a.duration == pytest.approx(b.duration, rel=0.05), name

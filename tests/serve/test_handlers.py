@@ -63,7 +63,7 @@ class TestSweepWireFormat:
 
 class TestRequestValidation:
     def test_registry_covers_issue_job_types(self):
-        assert set(HANDLERS) == {"fleet", "dse", "experiments", "characterize"}
+        assert set(HANDLERS) == {"fleet", "dse", "experiments", "characterize", "replay"}
 
     def test_fleet_requires_payload(self):
         context, _ = _context()
@@ -172,3 +172,49 @@ class TestFleetStreaming:
         # The first shard had already been folded when the check fired,
         # but no sketch snapshot escaped after cancellation.
         assert [e["event"] for e in job.published if e["event"] == "sketch"] == []
+
+
+class TestTraceJobs:
+    """``"record": true`` fleet jobs stream the recording as a ``trace``
+    event, and the ``replay`` job type verifies one on the server."""
+
+    def _fleet(self):
+        from repro.fleet import synthesize_fleet
+
+        return synthesize_fleet(4, seed=13, duration=10.0)
+
+    def _recorded_trace(self, stream=False):
+        context, job = _context()
+        request = {"fleet": self._fleet().to_dict(), "record": True}
+        if stream:
+            request.update(stream=True, shard_size=2)
+        HANDLERS["fleet"](context, request)
+        traces = [e for e in job.published if e["event"] == "trace"]
+        assert len(traces) == 1
+        return traces[0]["recording"]
+
+    @pytest.mark.parametrize("stream", [False, True])
+    def test_recorded_fleet_job_replays(self, stream):
+        from repro.trace import Recording, replay
+
+        recording = Recording.from_dict(self._recorded_trace(stream=stream))
+        assert recording.header.kind == "fleet"
+        assert replay(recording).identical
+
+    def test_replay_job_verifies_a_recording(self):
+        payload = self._recorded_trace()
+        context, job = _context()
+        out = HANDLERS["replay"](context, {"recording": payload})
+        assert out["identical"] is True
+        assert out["divergence"] is None
+
+    def test_replay_job_single_device(self):
+        payload = self._recorded_trace()
+        context, job = _context()
+        out = HANDLERS["replay"](context, {"recording": payload, "device": 2})
+        assert out["identical"] is True
+
+    def test_replay_job_requires_recording(self):
+        context, _ = _context()
+        with pytest.raises(ConfigurationError, match="recording"):
+            HANDLERS["replay"](context, {})

@@ -304,3 +304,45 @@ class TestJobCancelledType:
         assert issubclass(JobCancelled, ReproError)
         assert issubclass(QueueFullError, ReproError)
         assert issubclass(UnknownJobError, ReproError)
+
+
+class TestMonotonicElapsed:
+    """``elapsed`` must be measured on the monotonic clock: the wall
+    clock (``created``/``started``/``finished``, kept for display) can
+    step backwards under NTP mid-job, and pre-1.8 ``elapsed`` was
+    ``finished - started`` on exactly that clock."""
+
+    class _BackwardsWall:
+        """A wall clock that steps 100 s backwards on every read."""
+
+        # Bind before ``time`` below shadows the module in this body.
+        perf_counter = staticmethod(time.perf_counter)
+
+        def __init__(self):
+            self._wall = 1_000_000.0
+
+        def time(self):
+            self._wall -= 100.0
+            return self._wall
+
+    def test_elapsed_survives_wall_clock_step(self, monkeypatch):
+        import repro.serve.jobs as jobs_mod
+
+        monkeypatch.setattr(jobs_mod, "time", self._BackwardsWall())
+        manager = _manager({"echo": lambda ctx, req: req})
+        try:
+            job = manager.submit("echo", {})
+            assert _wait_state(job, TERMINAL_STATES) == "done"
+            # Wall-clock fields really did go backwards...
+            assert job.finished < job.started < job.created
+            # ...but elapsed stays monotonic and sane.
+            assert job.elapsed is not None
+            assert 0.0 <= job.elapsed < 60.0
+        finally:
+            manager.stop()
+
+    def test_elapsed_none_until_started(self):
+        from repro.serve.jobs import Job
+
+        job = Job(job_id="j1", kind="echo", request={})
+        assert job.elapsed is None

@@ -18,7 +18,7 @@ from repro.harvest.traces import nyc_pedestrian_night
 
 class TestFacadeSurface:
     def test_version(self):
-        assert repro.__version__ == "1.7.0"
+        assert repro.__version__ == "1.8.0"
 
     def test_all_exports_resolve(self):
         missing = [name for name in api.__all__ if not hasattr(api, name)]

@@ -126,3 +126,56 @@ class TestFleetCLI:
                 main(argv)
             assert excinfo.value.code == 2
             assert capsys.readouterr().err.startswith("error: ")
+
+
+class TestReplayCLI:
+    def _record(self, tmp_path, name="a.jsonl", devices="3", seed="1"):
+        path = str(tmp_path / name)
+        main(["fleet", "--devices", devices, "--duration", "20", "--seed", seed,
+              "--no-plan", "--record", path])
+        return path
+
+    def test_record_then_replay(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        capsys.readouterr()
+        main(["replay", path])
+        out = capsys.readouterr().out
+        assert out.startswith("replay OK")
+        assert "byte-identical" in out
+
+    def test_replay_single_device(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        capsys.readouterr()
+        main(["replay", path, "--device", "1"])
+        assert capsys.readouterr().out.startswith("replay OK")
+
+    def test_diff_identical(self, tmp_path, capsys):
+        a = self._record(tmp_path, "a.jsonl")
+        b = self._record(tmp_path, "b.jsonl")
+        capsys.readouterr()
+        main(["replay", a, "--diff", b])
+        assert "byte-identical" in capsys.readouterr().out
+
+    def test_diff_divergent_exits_nonzero(self, tmp_path, capsys):
+        a = self._record(tmp_path, "a.jsonl", seed="1")
+        b = self._record(tmp_path, "b.jsonl", seed="2")
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["replay", a, "--diff", b])
+        assert excinfo.value.code == 1
+        out = capsys.readouterr().out
+        assert "differ" in out or "divergence" in out
+
+    def test_riscv_record_flag(self, tmp_path, capsys):
+        path = str(tmp_path / "riscv.jsonl.gz")
+        main(["riscv", "--workload", "crc32", "--capacitance", "10",
+              "--record", path])
+        capsys.readouterr()
+        main(["replay", path])
+        assert capsys.readouterr().out.startswith("replay OK")
+
+    def test_record_rejects_continuous(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["riscv", "--continuous", "--record", str(tmp_path / "x.jsonl")])
+        assert excinfo.value.code == 2
+        assert capsys.readouterr().err.startswith("error: ")

@@ -250,3 +250,107 @@ class TestRealArtifacts:
         from repro.experiments.runner import EXPERIMENTS
 
         _wire_trip(EXPERIMENTS["table2"](), ExperimentResult)
+
+
+# ----------------------------------------------------------------------
+# repro.trace wire format (docs/replay.md)
+# ----------------------------------------------------------------------
+def _trace_header(rng):
+    from repro.trace import KINDS, TraceHeader
+
+    return TraceHeader.create(
+        kind=rng.choice(list(KINDS)),
+        engine=rng.choice(["fast", "reference", "auto", "legacy"]),
+        config={
+            "dt": rng.choice([1e-3, 5e-4]),
+            "v_ckpt": rng.uniform(1.8, 3.0),
+            "n": rng.randrange(0, 100),
+        },
+        seeds={"trace": rng.randrange(0, 10**6)},
+    )
+
+
+def _trace_event(rng, seq):
+    from repro.trace import TraceEvent
+
+    payload = {"v": rng.uniform(1.5, 3.3), "device": rng.randrange(0, 1000)}
+    if rng.random() < 0.3:
+        # The ideal monitor's infinite sample rate rides the stdlib
+        # Infinity policy, same as Evaluation above.
+        payload["sample_rate"] = math.inf
+    return TraceEvent(
+        seq=seq,
+        kind=rng.choice(["checkpoint", "power_failure", "restore", "rng"]),
+        t=rng.uniform(0.0, 600.0) if rng.random() < 0.8 else None,
+        payload=payload,
+    )
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+class TestTraceWireFormat:
+    def test_trace_header(self, seed):
+        from repro.trace import TraceHeader
+
+        header = _trace_header(random.Random(seed))
+        assert header.verify_fingerprint()
+        _wire_trip(header, TraceHeader)
+
+    def test_trace_event(self, seed):
+        from repro.trace import TraceEvent
+
+        _wire_trip(_trace_event(random.Random(seed), seq=seed), TraceEvent)
+
+    def test_recording(self, seed):
+        from repro.trace import Recording, payload_digest
+
+        rng = random.Random(seed)
+        result = {"checkpoints": rng.randrange(0, 100)}
+        recording = Recording(
+            header=_trace_header(rng),
+            events=[_trace_event(rng, seq=i) for i in range(rng.randrange(0, 6))],
+            result=result,
+            result_digest=payload_digest(result),
+        )
+        _wire_trip(recording, Recording)
+
+
+class TestTraceInfinityOnTheWire:
+    def test_infinite_sample_rate_survives_jsonl(self, tmp_path):
+        """An ideal-monitor recording carries ``math.inf`` in its header
+        config and must survive the on-disk JSONL trip."""
+        from repro.trace import Recording, TraceHeader
+
+        header = TraceHeader.create(
+            "harvest", "fast", {"monitor": {"sample_rate": math.inf}}
+        )
+        recording = Recording(header=header, result={"ok": 1}, result_digest="")
+        path = str(tmp_path / "inf.jsonl")
+        recording.save(path)
+        restored = Recording.load(path)
+        assert restored == recording
+        assert math.isinf(restored.header.config["monitor"]["sample_rate"])
+
+
+class TestRecordReplayIdempotence:
+    def test_record_replay_record_is_a_fixed_point(self):
+        """record -> replay -> record: the replayed recording must
+        itself replay byte-identically (replay output is valid replay
+        input, with no drift on the second hop)."""
+        from repro.batch.scenario import Scenario
+        from repro.harvest.monitors import IdealMonitor
+        from repro.harvest.traces import constant_trace
+        from repro.trace import TraceRecorder, diff_recordings, replay
+
+        scenario = Scenario(
+            monitor=IdealMonitor(),
+            trace=constant_trace(2.0, 5.0),
+            capacitance=22e-6,
+        )
+        first = TraceRecorder()
+        scenario.build_simulator().run(
+            scenario.trace, dt=scenario.dt, v_initial=scenario.v_initial, record=first
+        )
+        once = replay(first.recording).replayed
+        twice = replay(once).replayed
+        assert diff_recordings(first.recording, once).identical
+        assert diff_recordings(once, twice).identical

@@ -1,0 +1,97 @@
+"""Trace diffing: two recordings in, the first divergent event out.
+
+The fleet-debugging contract (docs/replay.md): when a metric moves
+between builds, diffing the two recordings names a single event — with
+its device and sim time — instead of leaving a fleet-wide aggregate to
+eyeball.
+"""
+
+import pytest
+
+from repro.trace import (
+    Recording,
+    TraceEvent,
+    TraceHeader,
+    diff_recordings,
+    payload_digest,
+)
+
+
+def _recording(events=(), config=None, result=None):
+    header = TraceHeader.create("fleet", "auto", dict(config or {"devices": 3}))
+    return Recording(
+        header=header,
+        events=list(events),
+        result=result,
+        result_digest=payload_digest(result) if result is not None else "",
+    )
+
+
+def _event(seq, kind="checkpoint", t=None, **payload):
+    return TraceEvent(seq=seq, kind=kind, t=t, payload=payload)
+
+
+class TestIdentical:
+    def test_empty(self):
+        diff = diff_recordings(_recording(), _recording())
+        assert diff.identical
+        assert diff.render() == "recordings are byte-identical"
+
+    def test_with_events_and_result(self):
+        events = [_event(0, t=1.0, v=2.5), _event(1, "power_failure", t=2.0)]
+        left = _recording(events, result={"ok": 1})
+        right = _recording(list(events), result={"ok": 1})
+        assert diff_recordings(left, right).identical
+
+
+class TestDivergence:
+    def test_header_divergence_names_the_field(self):
+        diff = diff_recordings(
+            _recording(config={"devices": 3}), _recording(config={"devices": 4})
+        )
+        assert diff.divergence == "header"
+        assert "config" in diff.render()
+        assert "fingerprint" in diff.render()
+
+    def test_first_divergent_event_is_pinpointed(self):
+        shared = _event(0, t=1.0, v=2.5)
+        left = _recording([shared, _event(1, "checkpoint", t=312.0, device=48231)])
+        right = _recording([shared, _event(1, "power_failure", t=312.0, device=48231)])
+        diff = diff_recordings(left, right)
+        assert diff.divergence == "event"
+        assert diff.index == 1
+        text = diff.render()
+        # The render names the location: device id and sim time.
+        assert "device 48231" in text
+        assert "t=312s" in text
+        assert "checkpoint" in text and "power_failure" in text
+
+    def test_lane_location_in_render(self):
+        left = _recording([_event(0, t=5.0, lane=7, v=2.0)])
+        right = _recording([_event(0, t=5.0, lane=7, v=2.1)])
+        assert "lane 7" in diff_recordings(left, right).render()
+
+    def test_length_divergence_names_the_continuing_side(self):
+        shared = _event(0, t=1.0)
+        extra = _event(1, "restore", t=2.0, device=9)
+        diff = diff_recordings(_recording([shared, extra]), _recording([shared]))
+        assert diff.divergence == "length"
+        assert diff.index == 1
+        assert "left continues" in diff.detail
+        assert "device 9" in diff.detail
+
+    def test_result_divergence_compares_digests(self):
+        left = _recording(result={"checkpoints": 10})
+        right = _recording(result={"checkpoints": 11})
+        diff = diff_recordings(left, right)
+        assert diff.divergence == "result"
+        assert payload_digest({"checkpoints": 10}) in diff.detail
+
+    def test_to_dict_carries_the_rendered_detail(self):
+        left = _recording([_event(0, t=1.0, v=2.5)])
+        right = _recording([_event(0, t=1.0, v=2.6)])
+        payload = diff_recordings(left, right).to_dict()
+        assert payload["identical"] is False
+        assert payload["divergence"] == "event"
+        assert payload["left"]["seq"] == 0
+        assert "v=2.5" in payload["detail"]
